@@ -1,0 +1,94 @@
+// Command benchmark regenerates the paper's evaluation artifacts: Table 1
+// (fix-rate ablation), Table 2 (pass@k before/after fixing), Table 3
+// (RTLLM generalization), Figure 4 (outcome rings), and Figure 7 (ReAct
+// iteration histogram).
+//
+// Usage:
+//
+//	benchmark -exp table1            # one experiment
+//	benchmark -exp all               # everything (the default)
+//	benchmark -exp table1 -repeats 3 # quicker, noisier
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/curate"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, table3, figure4, figure7, curation, ablation, simfeedback, or all")
+	seed := flag.Int64("seed", 2024, "random seed")
+	repeats := flag.Int("repeats", 10, "table 1 repeats per sample (paper: 10)")
+	samples := flag.Int("samples", 20, "table 2/3 samples per problem (paper: 20)")
+	flag.Parse()
+
+	run := func(name string, f func()) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		f()
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	var t1 *bench.Table1Result
+	table1 := func() *bench.Table1Result {
+		if t1 == nil {
+			t1 = bench.RunTable1(bench.Table1Config{Seed: *seed, Repeats: *repeats})
+		}
+		return t1
+	}
+
+	var t2 *bench.Table2Result
+	table2 := func() *bench.Table2Result {
+		if t2 == nil {
+			t2 = bench.RunTable2(bench.Table2Config{Seed: *seed, SampleN: *samples})
+		}
+		return t2
+	}
+
+	run("curation", func() {
+		entries, stats := curate.Build(curate.Options{Seed: *seed})
+		fmt.Println("VerilogEval-syntax curation pipeline:")
+		fmt.Printf("  sampled:          %d\n", stats.Sampled)
+		fmt.Printf("  compile-failing:  %d\n", stats.CompileFailing)
+		fmt.Printf("  after filtering:  %d\n", stats.Filtered)
+		fmt.Printf("  DBSCAN clusters:  %d\n", stats.Clusters)
+		fmt.Printf("  final dataset:    %d erroneous implementations\n", len(entries))
+	})
+	run("table1", func() { fmt.Print(table1().Render()) })
+	run("figure7", func() { fmt.Print(table1().RenderFigure7()) })
+	run("table2", func() { fmt.Print(table2().Render()) })
+	run("figure4", func() { fmt.Print(table2().RenderFigure4()) })
+	run("table3", func() {
+		res := bench.RunTable3(bench.Table3Config{Seed: *seed, SampleN: *samples})
+		fmt.Print(res.Render())
+	})
+	run("ablation", func() {
+		entries, _ := curate.Build(curate.Options{Seed: *seed})
+		fmt.Print(bench.RenderAblation("Retriever ablation (ReAct+RAG+Quartus fix rate):",
+			bench.RunRetrieverAblation(*seed, 3, entries)))
+		fmt.Print(bench.RenderAblation("Iteration-budget ablation:",
+			bench.RunIterationBudgetAblation(*seed, 3, 10, entries)))
+		fmt.Print(bench.RenderAblation("Guidance-size ablation (Quartus DB truncated):",
+			bench.RunGuidanceSizeAblation(*seed, 3, entries)))
+	})
+	run("simfeedback", func() {
+		fmt.Print(bench.RunSimFeedback(*seed, *samples/2).Render())
+	})
+
+	if *exp != "all" {
+		switch *exp {
+		case "table1", "table2", "table3", "figure4", "figure7", "curation",
+			"ablation", "simfeedback":
+		default:
+			fmt.Fprintf(os.Stderr, "benchmark: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command rtlfixer runs the RTLFixer debugging agent on a single Verilog
+// source file and prints the ReAct transcript (Thought / Action /
+// Observation steps, paper Fig. 2c) plus the final code.
+//
+// Usage:
+//
+//	rtlfixer [flags] file.v     # fix a file
+//	rtlfixer -demo              # fix the paper's Fig. 5 example
+//
+// Flags select the compiler persona (simple/iverilog/quartus), the LLM
+// persona (gpt-3.5/gpt-4), the prompting mode (react/one-shot), and
+// whether the retrieval database is consulted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+// demoSource is the paper's Fig. 5 erroneous implementation (task
+// vector100r): posedge clk with no clk port.
+const demoSource = `module top_module (
+	input [99:0] in,
+	output reg [99:0] out
+);
+	always @(posedge clk) begin
+		for (int i = 0; i < 100; i = i + 1) begin
+			out[i] <= in[99 - i];
+		end
+	end
+endmodule
+`
+
+func main() {
+	compilerName := flag.String("compiler", "quartus", "feedback persona: simple, iverilog, or quartus")
+	persona := flag.String("persona", "gpt-3.5", "LLM persona: gpt-3.5 or gpt-4")
+	mode := flag.String("mode", "react", "prompting mode: react or one-shot")
+	ragOn := flag.Bool("rag", true, "consult the retrieval database")
+	iters := flag.Int("iters", 0, "max ReAct iterations (0 = paper default of 10)")
+	seed := flag.Int64("seed", 1, "random seed")
+	demo := flag.Bool("demo", false, "run on the paper's Fig. 5 example")
+	quiet := flag.Bool("quiet", false, "print only the final code")
+	flag.Parse()
+
+	var source, name string
+	switch {
+	case *demo:
+		source, name = demoSource, "vector100r.sv"
+	case flag.NArg() == 1:
+		name = flag.Arg(0)
+		data, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtlfixer: %v\n", err)
+			os.Exit(1)
+		}
+		source = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: rtlfixer [flags] file.v   (or rtlfixer -demo)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	m := core.ModeReAct
+	if *mode == "one-shot" {
+		m = core.ModeOneShot
+	}
+	fixer, err := core.New(core.Options{
+		CompilerName:  *compilerName,
+		PersonaName:   *persona,
+		RAG:           *ragOn,
+		Mode:          m,
+		MaxIterations: *iters,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtlfixer: %v\n", err)
+		os.Exit(1)
+	}
+
+	tr := fixer.Fix(name, source, *seed)
+	if !*quiet {
+		fmt.Println(tr.Render())
+		fmt.Println("Final code:")
+	}
+	fmt.Println(tr.FinalCode)
+	if !tr.Success {
+		fmt.Fprintln(os.Stderr, "rtlfixer: syntax errors remain after the iteration budget")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+// Command vlint exposes the Verilog compiler frontend as a standalone
+// lint tool: it parses and elaborates one or more source files and prints
+// diagnostics in the chosen persona's log dialect (iverilog-style terse
+// logs, Quartus-style coded logs, or the raw structured diagnostics).
+//
+// Usage:
+//
+//	vlint file.v [file2.v ...]        # quartus-style logs (default)
+//	vlint -style iverilog file.v
+//	vlint -style raw file.v           # structured category-tagged output
+//	vlint -print file.v               # pretty-print the parsed AST back
+//
+// Exit status is non-zero when any file fails to compile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/compiler"
+	"repro/internal/verilog"
+)
+
+func main() {
+	style := flag.String("style", "quartus", "log dialect: quartus, iverilog, or raw")
+	doPrint := flag.Bool("print", false, "pretty-print the parsed source instead of linting")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: vlint [-style quartus|iverilog|raw] [-print] file.v ...")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range flag.Args() {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vlint: %v\n", err)
+			os.Exit(1)
+		}
+		src := string(data)
+
+		if *doPrint {
+			file, diags := verilog.Parse(src)
+			if diags.HasErrors() {
+				fmt.Fprintf(os.Stderr, "vlint: %s has parse errors; printing best-effort AST\n", name)
+				failed = true
+			}
+			fmt.Print(verilog.Print(file))
+			continue
+		}
+
+		switch *style {
+		case "raw":
+			_, design, diags := compiler.Frontend(src)
+			for _, d := range diags {
+				fmt.Printf("%s:%s: %s[%s] %s\n", name, d.Pos, d.Severity, d.Category, d.Message)
+			}
+			if design == nil {
+				failed = true
+			} else if len(diags) == 0 {
+				fmt.Printf("%s: clean\n", name)
+			}
+		default:
+			comp, ok := compiler.ByName(*style)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "vlint: unknown style %q\n", *style)
+				os.Exit(2)
+			}
+			res := comp.Compile(name, src)
+			if res.Log != "" {
+				fmt.Print(res.Log)
+			}
+			if res.Ok && res.Log == "" {
+				fmt.Printf("%s: clean\n", name)
+			}
+			if !res.Ok {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

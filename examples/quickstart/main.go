@@ -1,0 +1,51 @@
+// Quickstart: fix one erroneous Verilog module with the full RTLFixer
+// configuration (ReAct prompting + RAG guidance + Quartus-style feedback)
+// and print what happened.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// A typical LLM-generated module with two classic defects: the output is
+// driven inside an always block but not declared reg, and one statement
+// is missing its semicolon.
+const buggy = `module top_module (
+	input [3:0] a,
+	input [3:0] b,
+	output [3:0] sum,
+	output carry
+);
+	always @(*) begin
+		{carry, sum} = a + b
+	end
+endmodule
+`
+
+func main() {
+	fixer, err := core.New(core.Options{
+		CompilerName: "quartus", // richest feedback dialect
+		PersonaName:  "gpt-3.5",
+		RAG:          true,
+		Mode:         core.ModeReAct,
+		Seed:         42,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	transcript := fixer.Fix("adder.v", buggy, 1)
+
+	fmt.Printf("fixed: %v in %d iteration(s)\n", transcript.Success, transcript.Iterations)
+	if len(transcript.FixerRules) > 0 {
+		fmt.Printf("rule-based pre-fixer applied: %v\n", transcript.FixerRules)
+	}
+	fmt.Println("\nfinal code:")
+	fmt.Println(transcript.FinalCode)
+
+	// The structured transcript is available too: every Thought, Action,
+	// and Observation of the debugging loop.
+	fmt.Printf("transcript steps: %d\n", len(transcript.Steps))
+}

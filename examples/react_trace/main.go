@@ -1,0 +1,45 @@
+// react_trace prints a complete ReAct debugging session in the paper's
+// Fig. 2c format — interleaved Thought / Action / Observation steps — on a
+// multi-error sample whose second error is masked by the first (the
+// cascade that makes iterative debugging outperform one-shot fixing).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Two injected errors: a C-style increment (parse error, reported first)
+// masks the undeclared 'clk' (elaboration error, revealed only after the
+// first fix compiles past the parser).
+const cascading = `module top_module (
+	input [7:0] in,
+	output reg [7:0] out
+);
+	always @(posedge clk) begin
+		for (int i = 0; i < 8; i++)
+			out[i] <= in[7 - i];
+	end
+endmodule
+`
+
+func main() {
+	for _, mode := range []core.Mode{core.ModeOneShot, core.ModeReAct} {
+		fixer, err := core.New(core.Options{
+			CompilerName: "quartus",
+			PersonaName:  "gpt-3.5",
+			RAG:          true,
+			Mode:         mode,
+			Seed:         7,
+		})
+		if err != nil {
+			panic(err)
+		}
+		tr := fixer.Fix("reverse.sv", cascading, 3)
+		fmt.Printf("================ %s ================\n\n", mode)
+		fmt.Println(tr.Render())
+	}
+	fmt.Println("Note how One-shot can only respond to the first compiler message,")
+	fmt.Println("while ReAct recompiles after each revision and discovers the masked error.")
+}

@@ -1,0 +1,240 @@
+// Package agent implements the autonomous debugging loop of RTLFixer: the
+// ReAct prompting scheme (interleaved Thought / Action / Observation
+// steps, §3.2) and the One-shot baseline it is compared against (single
+// feedback turn, no iteration).
+//
+// The agent's tools are the ones Fig. 2b lists:
+//
+//	(1) Compiler[code] — compile, observe the log
+//	(2) RAG[logs]      — retrieve expert guidance for the log
+//	(3) Finish[answer] — return the final code
+//
+// plus the implicit "revise" act in which the LLM rewrites the code.
+package agent
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/fixer"
+	"repro/internal/llm"
+	"repro/internal/rag"
+)
+
+// DefaultMaxIterations is the paper's ReAct budget: "we restrict the LLM
+// to a maximum of 10 iterations of Thought-Action-Observation".
+const DefaultMaxIterations = 10
+
+// StepKind labels a transcript step.
+type StepKind string
+
+// Step kinds.
+const (
+	StepThought     StepKind = "Thought"
+	StepAction      StepKind = "Action"
+	StepObservation StepKind = "Observation"
+)
+
+// Step is one transcript entry.
+type Step struct {
+	Kind StepKind
+	// Tool names the action's tool (Compiler, RAG, Revise, Finish) when
+	// Kind is StepAction.
+	Tool    string
+	Content string
+}
+
+// Transcript records one debugging session.
+type Transcript struct {
+	Steps []Step
+	// Iterations counts code revisions attempted.
+	Iterations int
+	// Success is true when the final code compiles.
+	Success bool
+	// FinalCode is the last code version (fixed or not).
+	FinalCode string
+	// FixerRules lists rule names the deterministic pre-fixer applied.
+	FixerRules []string
+}
+
+func (t *Transcript) add(kind StepKind, tool, content string) {
+	t.Steps = append(t.Steps, Step{Kind: kind, Tool: tool, Content: content})
+}
+
+// Render formats the transcript in the paper's Fig. 2c style.
+func (t *Transcript) Render() string {
+	var b strings.Builder
+	thoughtN, actionN, obsN := 0, 0, 0
+	for _, s := range t.Steps {
+		switch s.Kind {
+		case StepThought:
+			thoughtN++
+			fmt.Fprintf(&b, "Thought %d:\n%s\n\n", thoughtN, s.Content)
+		case StepAction:
+			actionN++
+			fmt.Fprintf(&b, "Action %d: %s\n%s\n\n", actionN, s.Tool, s.Content)
+		case StepObservation:
+			obsN++
+			fmt.Fprintf(&b, "Observation %d:\n%s\n\n", obsN, s.Content)
+		}
+	}
+	fmt.Fprintf(&b, "Result: success=%v after %d iteration(s)\n", t.Success, t.Iterations)
+	return b.String()
+}
+
+// Config wires the agent's collaborators.
+type Config struct {
+	// Compiler is the feedback persona.
+	Compiler compiler.Compiler
+	// Model is the simulated LLM.
+	Model *llm.Model
+	// DB enables RAG when non-nil.
+	DB *rag.Database
+	// Retriever selects guidance; nil defaults to the paper's exact-tag
+	// retriever.
+	Retriever rag.Retriever
+	// MaxIterations bounds ReAct; 0 means DefaultMaxIterations.
+	MaxIterations int
+	// Filename appears in compiler logs.
+	Filename string
+	// SampleSeed identifies the problem instance for the model's
+	// deterministic capability rolls.
+	SampleSeed int64
+}
+
+func (c Config) retriever() rag.Retriever {
+	if c.Retriever != nil {
+		return c.Retriever
+	}
+	return rag.ExactTag{}
+}
+
+func (c Config) maxIters() int {
+	if c.MaxIterations > 0 {
+		return c.MaxIterations
+	}
+	return DefaultMaxIterations
+}
+
+func (c Config) filename() string {
+	if c.Filename != "" {
+		return c.Filename
+	}
+	return "main.v"
+}
+
+// preclean runs the deterministic rule-based fixer, which the paper
+// applies to every LLM-generated sample before compilation.
+func preclean(code string, t *Transcript) string {
+	res := fixer.Fix(code)
+	t.FixerRules = append(t.FixerRules, res.Applied...)
+	return res.Code
+}
+
+// RunOneShot is the baseline: one compile for feedback, one revision, one
+// verifying compile. No reasoning steps, no iteration.
+func RunOneShot(cfg Config, code string) *Transcript {
+	t := &Transcript{}
+	cur := preclean(code, t)
+
+	t.add(StepAction, "Compiler", "submitting the candidate code")
+	res := cfg.Compiler.Compile(cfg.filename(), cur)
+	t.add(StepObservation, "", res.Log)
+	if res.Ok {
+		t.Success = true
+		t.FinalCode = cur
+		t.add(StepAction, "Finish", "the code already compiles")
+		return t
+	}
+
+	var guidance []rag.Entry
+	if cfg.DB != nil && cfg.Compiler.InfoScore() > 0 {
+		guidance = cfg.retriever().Retrieve(cfg.DB, res.Log, 4)
+		t.add(StepAction, "RAG", "retrieving guidance for the compiler log")
+		t.add(StepObservation, "", rag.Render(guidance))
+	}
+
+	rep := cfg.Model.Repair(llm.RepairRequest{
+		Code:       cur,
+		Feedback:   res.Log,
+		Guidance:   guidance,
+		Thought:    false,
+		SampleSeed: cfg.SampleSeed,
+		Iteration:  0,
+	})
+	t.Iterations = 1
+	cur = preclean(rep.Code, t)
+	t.add(StepAction, "Revise", strings.Join(rep.Notes, "; "))
+
+	final := cfg.Compiler.Compile(cfg.filename(), cur)
+	t.add(StepAction, "Compiler", "submitting the revised code")
+	t.add(StepObservation, "", final.Log)
+	t.Success = final.Ok
+	t.FinalCode = cur
+	t.add(StepAction, "Finish", "returning the revised code")
+	return t
+}
+
+// RunReAct is the full RTLFixer loop: Thought → Action → Observation,
+// iterating revisions until the compiler passes or the budget runs out.
+func RunReAct(cfg Config, code string) *Transcript {
+	t := &Transcript{}
+	cur := preclean(code, t)
+
+	res := cfg.Compiler.Compile(cfg.filename(), cur)
+	t.add(StepAction, "Compiler", "submitting the candidate code")
+	t.add(StepObservation, "", res.Log)
+	if res.Ok {
+		t.Success = true
+		t.FinalCode = cur
+		t.add(StepAction, "Finish", "the code already compiles")
+		return t
+	}
+
+	for iter := 1; iter <= cfg.maxIters(); iter++ {
+		hyps := llm.AnalyzeLog(res.Log)
+		t.add(StepThought, "", llm.Thought(res.Log, hyps))
+
+		var guidance []rag.Entry
+		if cfg.DB != nil && cfg.Compiler.InfoScore() > 0 {
+			guidance = cfg.retriever().Retrieve(cfg.DB, res.Log, 4)
+			t.add(StepAction, "RAG", firstLogLine(res.Log))
+			t.add(StepObservation, "", rag.Render(guidance))
+		}
+
+		rep := cfg.Model.Repair(llm.RepairRequest{
+			Code:       cur,
+			Feedback:   res.Log,
+			Guidance:   guidance,
+			Thought:    true,
+			SampleSeed: cfg.SampleSeed,
+			Iteration:  iter,
+		})
+		t.Iterations = iter
+		cur = preclean(rep.Code, t)
+		t.add(StepAction, "Revise", strings.Join(rep.Notes, "; "))
+
+		res = cfg.Compiler.Compile(cfg.filename(), cur)
+		t.add(StepAction, "Compiler", "submitting the revised code")
+		t.add(StepObservation, "", res.Log)
+		if res.Ok {
+			t.Success = true
+			t.FinalCode = cur
+			t.add(StepAction, "Finish", "the revised code compiles cleanly")
+			return t
+		}
+	}
+	t.FinalCode = cur
+	t.add(StepAction, "Finish", "iteration budget exhausted; returning the best attempt")
+	return t
+}
+
+func firstLogLine(log string) string {
+	for _, line := range strings.Split(log, "\n") {
+		if strings.TrimSpace(line) != "" {
+			return strings.TrimSpace(line)
+		}
+	}
+	return log
+}

@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/curate"
+	"repro/internal/dataset"
+)
+
+// sharedEntries caches one curated dataset across tests: curation is the
+// expensive common setup.
+var (
+	entriesOnce sync.Once
+	sharedEnt   []curate.Entry
+)
+
+func testEntries(t *testing.T) []curate.Entry {
+	t.Helper()
+	entriesOnce.Do(func() {
+		sharedEnt, _ = curate.Build(curate.Options{Seed: 7})
+	})
+	return sharedEnt
+}
+
+// quickTable1 runs a reduced Table 1 (3 repeats, full dataset) — enough
+// signal for shape assertions while staying test-suite fast.
+var (
+	t1Once sync.Once
+	t1Res  *Table1Result
+)
+
+func quickTable1(t *testing.T) *Table1Result {
+	t.Helper()
+	t1Once.Do(func() {
+		t1Res = RunTable1(Table1Config{Seed: 7, Repeats: 3, Entries: testEntries(t)})
+	})
+	return t1Res
+}
+
+func cell(t *testing.T, r *Table1Result, prompt core.Mode, rag bool, comp, persona string) float64 {
+	t.Helper()
+	c, ok := r.Cell(prompt, rag, comp, persona)
+	if !ok {
+		t.Fatalf("missing cell %v/%v/%s/%s", prompt, rag, comp, persona)
+	}
+	return c.FixRate
+}
+
+// TestTable1FeedbackQualityOrdering asserts the paper's central ablation:
+// fix rate rises with feedback quality (Simple < iverilog < Quartus) for
+// both prompting modes without RAG.
+func TestTable1FeedbackQualityOrdering(t *testing.T) {
+	r := quickTable1(t)
+	for _, prompt := range []core.Mode{core.ModeOneShot, core.ModeReAct} {
+		s := cell(t, r, prompt, false, "Simple", "gpt-3.5")
+		iv := cell(t, r, prompt, false, "iverilog", "gpt-3.5")
+		q := cell(t, r, prompt, false, "Quartus", "gpt-3.5")
+		if !(s < iv && iv < q) {
+			t.Errorf("%v: feedback ordering violated: Simple=%.3f iverilog=%.3f Quartus=%.3f",
+				prompt, s, iv, q)
+		}
+	}
+}
+
+// TestTable1ReActBeatsOneShot asserts the ReAct-vs-One-shot claim: a gain
+// of roughly 20-30 points in every column (paper: +25.7/+26.4/+31.2).
+func TestTable1ReActBeatsOneShot(t *testing.T) {
+	r := quickTable1(t)
+	for _, comp := range []string{"Simple", "iverilog", "Quartus"} {
+		one := cell(t, r, core.ModeOneShot, false, comp, "gpt-3.5")
+		react := cell(t, r, core.ModeReAct, false, comp, "gpt-3.5")
+		gain := react - one
+		if gain < 0.10 {
+			t.Errorf("%s: ReAct gain %.3f too small (paper: 0.25+)", comp, gain)
+		}
+	}
+}
+
+// TestTable1RAGHelps asserts the RAG claim: substantial gains with both
+// prompting modes (paper: +31.2 one-shot, +18.6 ReAct on Quartus).
+func TestTable1RAGHelps(t *testing.T) {
+	r := quickTable1(t)
+	for _, prompt := range []core.Mode{core.ModeOneShot, core.ModeReAct} {
+		for _, comp := range []string{"iverilog", "Quartus"} {
+			without := cell(t, r, prompt, false, comp, "gpt-3.5")
+			with := cell(t, r, prompt, true, comp, "gpt-3.5")
+			if with-without < 0.05 {
+				t.Errorf("%v/%s: RAG gain %.3f too small", prompt, comp, with-without)
+			}
+		}
+	}
+}
+
+// TestTable1SimpleRAGUndefined asserts the "-" cells: RAG needs a compiler
+// log to retrieve from, so Simple+RAG is undefined.
+func TestTable1SimpleRAGUndefined(t *testing.T) {
+	r := quickTable1(t)
+	for _, prompt := range []core.Mode{core.ModeOneShot, core.ModeReAct} {
+		c, ok := r.Cell(prompt, true, "Simple", "gpt-3.5")
+		if !ok || c.Defined() {
+			t.Errorf("%v: Simple+RAG should be undefined, got %+v", prompt, c)
+		}
+	}
+}
+
+// TestTable1BestCellIsReActRAGQuartus asserts the headline: the full
+// RTLFixer configuration is the best gpt-3.5 cell and approaches the
+// paper's 98.5%.
+func TestTable1BestCellIsReActRAGQuartus(t *testing.T) {
+	r := quickTable1(t)
+	best := cell(t, r, core.ModeReAct, true, "Quartus", "gpt-3.5")
+	if best < 0.90 {
+		t.Errorf("ReAct+RAG+Quartus fix rate %.3f; paper reports 0.985", best)
+	}
+	for _, c := range r.Cells {
+		if c.Persona != "gpt-3.5" || !c.Defined() {
+			continue
+		}
+		if c.FixRate > best+1e-9 {
+			t.Errorf("cell %+v beats the full configuration (%.3f > %.3f)", c, c.FixRate, best)
+		}
+	}
+}
+
+// TestTable1GPT4 asserts the model ablation: GPT-4 is strong everywhere
+// and gains much less from ReAct than GPT-3.5 does (paper: ~1 point).
+func TestTable1GPT4(t *testing.T) {
+	r := quickTable1(t)
+	oneShot := cell(t, r, core.ModeOneShot, true, "Quartus", "gpt-4")
+	react := cell(t, r, core.ModeReAct, true, "Quartus", "gpt-4")
+	if oneShot < 0.80 {
+		t.Errorf("GPT-4 one-shot+RAG %.3f; paper reports 0.98", oneShot)
+	}
+	gpt4Gain := react - oneShot
+	gpt35Gain := cell(t, r, core.ModeReAct, true, "Quartus", "gpt-3.5") -
+		cell(t, r, core.ModeOneShot, true, "Quartus", "gpt-3.5")
+	if gpt4Gain >= gpt35Gain {
+		t.Errorf("GPT-4 ReAct gain (%.3f) should be smaller than GPT-3.5's (%.3f)",
+			gpt4Gain, gpt35Gain)
+	}
+}
+
+// TestFigure7MostFixesInOneIteration asserts the paper's Fig. 7 claim:
+// about 90% of resolved samples need a single revision.
+func TestFigure7MostFixesInOneIteration(t *testing.T) {
+	r := quickTable1(t)
+	total, first := 0, 0
+	for i := 1; i < len(r.IterationHist); i++ {
+		total += r.IterationHist[i]
+		if i == 1 {
+			first = r.IterationHist[i]
+		}
+	}
+	if total == 0 {
+		t.Fatal("no iteration data collected")
+	}
+	share := float64(first) / float64(total)
+	if share < 0.70 || share > 0.99 {
+		t.Errorf("single-iteration share = %.2f, want ~0.9", share)
+	}
+	// And a real tail must exist: some samples need > 1 iteration.
+	if total == first {
+		t.Error("iteration histogram has no tail")
+	}
+}
+
+// TestTable2Shapes asserts Table 2's structure on a reduced run: fixing
+// helps every subset, Machine gains much more than Human, and easy gains
+// exceed hard gains on Human (paper: 14.5 vs 6.7 points).
+func TestTable2Shapes(t *testing.T) {
+	res := RunTable2(Table2Config{Seed: 7, SampleN: 6})
+	for _, row := range res.Rows {
+		if row.Fixed1 < row.Orig1 {
+			t.Errorf("%s/%s: fixing reduced pass@1 (%.3f -> %.3f)",
+				row.Suite, row.Subset, row.Orig1, row.Fixed1)
+		}
+		if row.Fixed5 < row.Orig5 {
+			t.Errorf("%s/%s: fixing reduced pass@5", row.Suite, row.Subset)
+		}
+		if row.Orig5 < row.Orig1 {
+			t.Errorf("%s/%s: pass@5 below pass@1", row.Suite, row.Subset)
+		}
+	}
+	mAll, _ := res.Row(dataset.SuiteMachine, "All")
+	hAll, _ := res.Row(dataset.SuiteHuman, "All")
+	if (mAll.Fixed1 - mAll.Orig1) <= (hAll.Fixed1 - hAll.Orig1) {
+		t.Errorf("Machine gain (%.3f) should exceed Human gain (%.3f)",
+			mAll.Fixed1-mAll.Orig1, hAll.Fixed1-hAll.Orig1)
+	}
+	hEasy, _ := res.Row(dataset.SuiteHuman, "easy")
+	hHard, _ := res.Row(dataset.SuiteHuman, "hard")
+	if (hEasy.Fixed1 - hEasy.Orig1) <= (hHard.Fixed1 - hHard.Orig1) {
+		t.Errorf("Human easy gain (%.3f) should exceed hard gain (%.3f)",
+			hEasy.Fixed1-hEasy.Orig1, hHard.Fixed1-hHard.Orig1)
+	}
+	if hHard.Orig1 > 0.15 {
+		t.Errorf("Human hard original pass@1 = %.3f; paper reports 0.053", hHard.Orig1)
+	}
+}
+
+// TestFigure4CompileErrorsCollapse asserts Figure 4's visual claim: the
+// compile-error share collapses to near zero after fixing, and the passed
+// share grows.
+func TestFigure4CompileErrorsCollapse(t *testing.T) {
+	res := RunTable2(Table2Config{Seed: 11, SampleN: 4})
+	for suite, rings := range res.Fig4 {
+		innerCE := rings.Inner["compile-error-easy"] + rings.Inner["compile-error-hard"]
+		outerCE := rings.Outer["compile-error-easy"] + rings.Outer["compile-error-hard"]
+		if innerCE < 0.15 {
+			t.Errorf("%s: original compile-error share %.3f suspiciously low", suite, innerCE)
+		}
+		if outerCE > 0.1*innerCE+0.02 {
+			t.Errorf("%s: compile errors did not collapse (%.3f -> %.3f)", suite, innerCE, outerCE)
+		}
+		innerPass := rings.Inner["passed-easy"] + rings.Inner["passed-hard"]
+		outerPass := rings.Outer["passed-easy"] + rings.Outer["passed-hard"]
+		if outerPass <= innerPass {
+			t.Errorf("%s: passed share did not grow (%.3f -> %.3f)", suite, innerPass, outerPass)
+		}
+		// Ring shares must sum to ~1.
+		sumIn, sumOut := 0.0, 0.0
+		for _, v := range rings.Inner {
+			sumIn += v
+		}
+		for _, v := range rings.Outer {
+			sumOut += v
+		}
+		if math.Abs(sumIn-1) > 1e-9 || math.Abs(sumOut-1) > 1e-9 {
+			t.Errorf("%s: ring shares do not sum to 1 (%.4f, %.4f)", suite, sumIn, sumOut)
+		}
+	}
+}
+
+// TestSyntaxShareOfErrors asserts the paper's §1 statistic: roughly half
+// of GPT-3.5's Verilog errors on Human are syntax errors (paper: 55%).
+func TestSyntaxShareOfErrors(t *testing.T) {
+	res := RunTable2(Table2Config{Seed: 13, SampleN: 6,
+		Suites: []dataset.Suite{dataset.SuiteHuman}})
+	share := res.SyntaxErrorShare[dataset.SuiteHuman]
+	if share < 0.35 || share > 0.70 {
+		t.Errorf("syntax share of Human errors = %.2f, paper reports 0.55", share)
+	}
+}
+
+// TestTable3Generalization asserts Table 3: on the unseen RTLLM-style
+// suite with the unchanged guidance DB, syntax success improves sharply
+// (paper: 73% -> 93%) and pass@1 improves modestly (11% -> 16%).
+func TestTable3Generalization(t *testing.T) {
+	res := RunTable3(Table3Config{Seed: 7, SampleN: 10})
+	if res.FixedSyntaxRate-res.OrigSyntaxRate < 0.08 {
+		t.Errorf("syntax success gain too small: %.2f -> %.2f",
+			res.OrigSyntaxRate, res.FixedSyntaxRate)
+	}
+	if res.FixedSyntaxRate < 0.90 {
+		t.Errorf("fixed syntax success %.2f; paper reports 0.93", res.FixedSyntaxRate)
+	}
+	if res.FixedPass1 < res.OrigPass1 {
+		t.Errorf("pass@1 regressed: %.3f -> %.3f", res.OrigPass1, res.FixedPass1)
+	}
+	if res.FixedPass1-res.OrigPass1 > 0.25 {
+		t.Errorf("pass@1 gain %.3f implausibly large (paper: +0.05)",
+			res.FixedPass1-res.OrigPass1)
+	}
+}
+
+// TestCurationPipeline asserts the dataset construction invariants: the
+// paper's 212 samples, every one failing compilation, with ground truth
+// attached.
+func TestCurationPipeline(t *testing.T) {
+	entries := testEntries(t)
+	if len(entries) != curate.TargetSize {
+		t.Fatalf("curated %d entries, want %d", len(entries), curate.TargetSize)
+	}
+	problems := map[string]bool{}
+	for _, e := range entries {
+		problems[e.ProblemID] = true
+	}
+	if len(problems) < 50 {
+		t.Errorf("only %d distinct problems represented; want diversity", len(problems))
+	}
+}
+
+// TestTable1Render smoke-checks the report formatting.
+func TestTable1Render(t *testing.T) {
+	r := quickTable1(t)
+	out := r.Render()
+	for _, want := range []string{"One-shot", "ReAct", "Quartus", "GPT-4"} {
+		if !containsStr(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if fig := r.RenderFigure7(); !containsStr(fig, "iterations") {
+		t.Errorf("figure 7 render wrong:\n%s", fig)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,23 @@
+package bench
+
+import "testing"
+
+// TestSimFeedbackLimitedGains reproduces §5's finding: simulation-error
+// feedback yields only limited improvement beyond syntax fixing, and the
+// improvement concentrates on easy problems.
+func TestSimFeedbackLimitedGains(t *testing.T) {
+	res := RunSimFeedback(7, 4)
+	t.Log("\n" + res.Render())
+	if res.Pass1AfterSimRepair < res.Pass1AfterSyntax {
+		t.Fatalf("simulation repair regressed pass@1: %.3f -> %.3f",
+			res.Pass1AfterSyntax, res.Pass1AfterSimRepair)
+	}
+	gain := res.Pass1AfterSimRepair - res.Pass1AfterSyntax
+	if gain > 0.15 {
+		t.Errorf("gain %.3f implausibly large; the paper reports limited improvements", gain)
+	}
+	if res.EasyGain < res.HardGain-0.02 {
+		t.Errorf("gain should concentrate on easy problems: easy %+.3f vs hard %+.3f",
+			res.EasyGain, res.HardGain)
+	}
+}

@@ -1,0 +1,176 @@
+// Package cluster implements DBSCAN over Jaccard distance on token
+// shingles. The paper's dataset-curation step uses exactly this pairing
+// ("clustering using DBSCAN with Jaccard distance, grouping similar
+// implementations to select representative examples", §3.4) to pick a
+// diverse set of erroneous implementations for VerilogEval-syntax.
+package cluster
+
+import (
+	"sort"
+	"strings"
+)
+
+// Noise is the label DBSCAN assigns to points in no cluster.
+const Noise = -1
+
+// Shingles tokenizes src and returns the set of k-token shingles. Shingle
+// sets are the standard representation for Jaccard similarity over code.
+func Shingles(src string, k int) map[string]struct{} {
+	toks := tokenize(src)
+	out := map[string]struct{}{}
+	if k <= 0 {
+		k = 1
+	}
+	if len(toks) < k {
+		if len(toks) > 0 {
+			out[strings.Join(toks, " ")] = struct{}{}
+		}
+		return out
+	}
+	for i := 0; i+k <= len(toks); i++ {
+		out[strings.Join(toks[i:i+k], " ")] = struct{}{}
+	}
+	return out
+}
+
+// tokenize is a lightweight code tokenizer: identifiers/numbers clump,
+// punctuation splits, whitespace separates.
+func tokenize(src string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			flush()
+		case (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9') || c == '_' || c == '\'':
+			cur.WriteByte(c)
+		default:
+			flush()
+			toks = append(toks, string(c))
+		}
+	}
+	flush()
+	return toks
+}
+
+// Jaccard returns the Jaccard similarity |A∩B| / |A∪B| of two sets.
+// Two empty sets are defined as identical (similarity 1).
+func Jaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for s := range a {
+		if _, ok := b[s]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// JaccardDistance returns 1 - Jaccard similarity.
+func JaccardDistance(a, b map[string]struct{}) float64 { return 1 - Jaccard(a, b) }
+
+// DBSCAN clusters n points given a pairwise distance function. eps is the
+// neighbourhood radius and minPts the core-point density threshold
+// (including the point itself). The result assigns each point a cluster
+// id starting at 0, or Noise.
+func DBSCAN(n int, dist func(i, j int) float64, eps float64, minPts int) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	visited := make([]bool, n)
+
+	neighbours := func(p int) []int {
+		var out []int
+		for q := 0; q < n; q++ {
+			if dist(p, q) <= eps {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+
+	cluster := 0
+	for p := 0; p < n; p++ {
+		if visited[p] {
+			continue
+		}
+		visited[p] = true
+		nb := neighbours(p)
+		if len(nb) < minPts {
+			continue // stays noise unless absorbed later
+		}
+		labels[p] = cluster
+		// Expand cluster via a work queue.
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			if labels[q] == Noise {
+				labels[q] = cluster // border point
+			}
+			if visited[q] {
+				continue
+			}
+			visited[q] = true
+			labels[q] = cluster
+			qnb := neighbours(q)
+			if len(qnb) >= minPts {
+				queue = append(queue, qnb...)
+			}
+		}
+		cluster++
+	}
+	return labels
+}
+
+// Representatives picks one representative index per cluster (the point
+// with the smallest summed distance to its cluster peers — a medoid) plus
+// every noise point. This matches the paper's goal of "selecting
+// representative examples while ensuring a diverse representation".
+func Representatives(labels []int, dist func(i, j int) float64) []int {
+	byCluster := map[int][]int{}
+	for i, l := range labels {
+		byCluster[l] = append(byCluster[l], i)
+	}
+	var out []int
+	clusterIDs := make([]int, 0, len(byCluster))
+	for id := range byCluster {
+		clusterIDs = append(clusterIDs, id)
+	}
+	sort.Ints(clusterIDs)
+	for _, id := range clusterIDs {
+		members := byCluster[id]
+		if id == Noise {
+			out = append(out, members...)
+			continue
+		}
+		best, bestSum := members[0], -1.0
+		for _, i := range members {
+			sum := 0.0
+			for _, j := range members {
+				sum += dist(i, j)
+			}
+			if bestSum < 0 || sum < bestSum {
+				best, bestSum = i, sum
+			}
+		}
+		out = append(out, best)
+	}
+	sort.Ints(out)
+	return out
+}

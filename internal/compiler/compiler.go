@@ -1,0 +1,306 @@
+// Package compiler wraps the Verilog frontend (parse + elaborate) behind
+// the three feedback personas the paper's ablation contrasts:
+//
+//   - Simple   — pass/fail only; the log is the fixed instruction
+//     "Correct the syntax error in the code." (§4.3.1 "Simple")
+//   - IVerilog — terse open-source-style logs ("main.v:5: error: ..."),
+//     with the documented failure mode of degrading to "I give up." on
+//     confusing input (§4.3.1, Fig. 5 top)
+//   - Quartus  — verbose commercial-style logs with error numbers,
+//     explanations and fix suggestions (§4.3.1, Fig. 5 bottom)
+//
+// All personas share one frontend; only the log rendering and the
+// information content differ. InfoScore quantifies that difference for the
+// simulated LLM's localization model.
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/diag"
+	"repro/internal/sema"
+	"repro/internal/verilog"
+)
+
+// Result is the outcome of one compilation.
+type Result struct {
+	// Ok is true when the source parsed and elaborated with no errors.
+	Ok bool
+	// Log is the persona-formatted compiler output the agent reads.
+	Log string
+	// Diags is the structured ground truth behind the log. The agent
+	// never consumes it directly; tests, the oracle, and the simulated
+	// LLM's capability model do.
+	Diags diag.List
+	// File is the parsed AST (always present, possibly partial).
+	File *verilog.SourceFile
+	// Design is the elaborated design, non-nil only when Ok.
+	Design *sema.Design
+}
+
+// Compiler is one feedback persona.
+type Compiler interface {
+	// Name returns the persona name used in tables ("Simple",
+	// "iverilog", "Quartus").
+	Name() string
+	// Compile runs the frontend on src and renders the persona's log.
+	// filename appears in the log the way real tools echo it.
+	Compile(filename, src string) Result
+	// InfoScore is the information content of this persona's logs in
+	// [0,1]: 0 = no information beyond pass/fail, 1 = precise location,
+	// cause, and suggestion for every error. The simulated LLM's
+	// localization model consumes it.
+	InfoScore() float64
+}
+
+// Frontend runs parse + elaborate with the real-compiler masking rule:
+// semantic analysis only runs when parsing succeeded, so parse errors hide
+// the elaboration errors behind them (the cascade that makes iterative
+// fixing necessary).
+func Frontend(src string) (*verilog.SourceFile, *sema.Design, diag.List) {
+	file, parseDiags := verilog.Parse(src)
+	if parseDiags.HasErrors() {
+		parseDiags.SortByPos()
+		return file, nil, parseDiags
+	}
+	design, semaDiags := sema.Elaborate(file)
+	all := append(parseDiags, semaDiags...)
+	all.SortByPos()
+	if all.HasErrors() {
+		return file, nil, all
+	}
+	return file, design, all
+}
+
+// ---------- Simple ----------
+
+// Simple is the no-feedback persona: it compiles (the loop must know when
+// to stop) but reveals nothing about the errors.
+type Simple struct{}
+
+// Name implements Compiler.
+func (Simple) Name() string { return "Simple" }
+
+// InfoScore implements Compiler.
+func (Simple) InfoScore() float64 { return 0.0 }
+
+// Compile implements Compiler.
+func (Simple) Compile(filename, src string) Result {
+	file, design, diags := Frontend(src)
+	res := Result{File: file, Design: design, Diags: diags, Ok: design != nil}
+	if res.Ok {
+		res.Log = "Compilation successful."
+	} else {
+		res.Log = "Correct the syntax error in the code."
+	}
+	return res
+}
+
+// ---------- iverilog ----------
+
+// IVerilog renders terse open-source-style logs.
+type IVerilog struct{}
+
+// Name implements Compiler.
+func (IVerilog) Name() string { return "iverilog" }
+
+// InfoScore implements Compiler.
+func (IVerilog) InfoScore() float64 { return 0.55 }
+
+// giveUpThreshold is how many parse errors it takes before the persona
+// abandons detailed reporting, reproducing iverilog's "I give up." mode.
+const giveUpThreshold = 4
+
+// Compile implements Compiler.
+func (IVerilog) Compile(filename, src string) Result {
+	file, design, diags := Frontend(src)
+	res := Result{File: file, Design: design, Diags: diags, Ok: design != nil}
+	if res.Ok {
+		res.Log = ""
+		return res
+	}
+	var b strings.Builder
+	errs := diags.Errors()
+	syntaxErrs := 0
+	for _, d := range errs {
+		if isParseCategory(d.Category) {
+			syntaxErrs++
+		}
+	}
+	if syntaxErrs >= giveUpThreshold {
+		// The documented degradation: many syntax errors collapse into an
+		// uninformative log.
+		for i := 0; i < syntaxErrs && i < 2; i++ {
+			fmt.Fprintf(&b, "%s:%d: syntax error\n", filename, errs[i].Pos.Line)
+		}
+		b.WriteString("I give up.\n")
+		res.Log = b.String()
+		return res
+	}
+	for _, d := range errs {
+		b.WriteString(iverilogLine(filename, d))
+	}
+	fmt.Fprintf(&b, "%d error(s) during elaboration.\n", len(errs))
+	res.Log = b.String()
+	return res
+}
+
+func isParseCategory(c diag.Category) bool {
+	switch c {
+	case diag.CatUnexpectedToken, diag.CatMissingSemicolon,
+		diag.CatUnmatchedBeginEnd, diag.CatMissingEndmodule,
+		diag.CatCStyleSyntax, diag.CatMisplacedDirective,
+		diag.CatKeywordAsIdent, diag.CatMalformedLiteral,
+		diag.CatSensitivityList, diag.CatModuleStructure,
+		diag.CatBadConcat:
+		return true
+	}
+	return false
+}
+
+// iverilogLine renders one diagnostic in iverilog's laconic dialect. The
+// phrasings mirror the logs the paper quotes in Figs. 2 and 5.
+func iverilogLine(filename string, d diag.Diagnostic) string {
+	loc := fmt.Sprintf("%s:%d: ", filename, d.Pos.Line)
+	switch d.Category {
+	case diag.CatUndeclaredIdent:
+		return loc + fmt.Sprintf("error: Unable to bind wire/reg/memory `%s' in `top_module'\n", d.Symbol)
+	case diag.CatInvalidLValue:
+		return loc + fmt.Sprintf("error: %s is not a valid l-value in top_module.\n", d.Symbol)
+	case diag.CatIndexOutOfRange:
+		return loc + fmt.Sprintf("error: Index %s[...] is out of range.\n", d.Symbol)
+	case diag.CatAssignToReg:
+		return loc + fmt.Sprintf("error: reg %s; cannot be driven by primitives or continuous assignment.\n", d.Symbol)
+	case diag.CatMissingSemicolon, diag.CatUnexpectedToken, diag.CatCStyleSyntax,
+		diag.CatBadConcat, diag.CatKeywordAsIdent:
+		return loc + "syntax error\n"
+	case diag.CatUnmatchedBeginEnd, diag.CatMissingEndmodule:
+		return loc + "syntax error\n" + loc + "error: Errors in statement block.\n"
+	case diag.CatMisplacedDirective:
+		return loc + "error: macro names cannot be directive keywords\n"
+	case diag.CatMalformedLiteral:
+		return loc + "error: Malformed statement\n"
+	case diag.CatSensitivityList:
+		return loc + "error: Error in event expression.\n"
+	case diag.CatDuplicateDecl:
+		return loc + fmt.Sprintf("error: `%s' has already been declared in this scope.\n", d.Symbol)
+	case diag.CatPortMismatch:
+		return loc + fmt.Sprintf("error: Port %s is not defined in module.\n", d.Symbol)
+	case diag.CatNonConstantExpr:
+		return loc + "error: Dimensions must be constant.\n"
+	case diag.CatModuleStructure:
+		return loc + "syntax error\n"
+	default:
+		return loc + fmt.Sprintf("error: %s\n", d.Message)
+	}
+}
+
+// ---------- Quartus ----------
+
+// Quartus renders verbose commercial-style logs with error numbers and
+// suggestions.
+type Quartus struct{}
+
+// Name implements Compiler.
+func (Quartus) Name() string { return "Quartus" }
+
+// InfoScore implements Compiler.
+func (Quartus) InfoScore() float64 { return 0.9 }
+
+// quartusCode maps categories to the stable error numbers the RAG database
+// keys on. 10161 (undeclared object) and 10232 (index out of range) are the
+// codes the paper itself quotes; the rest follow the same numbering style.
+func quartusCode(c diag.Category) int {
+	switch c {
+	case diag.CatUndeclaredIdent:
+		return 10161
+	case diag.CatIndexOutOfRange:
+		return 10232
+	case diag.CatInvalidLValue:
+		return 10137
+	case diag.CatAssignToReg:
+		return 10219
+	case diag.CatMissingSemicolon, diag.CatUnexpectedToken, diag.CatModuleStructure:
+		return 10170
+	case diag.CatUnmatchedBeginEnd, diag.CatMissingEndmodule:
+		return 10171
+	case diag.CatCStyleSyntax:
+		return 10663
+	case diag.CatMisplacedDirective:
+		return 10190
+	case diag.CatDuplicateDecl:
+		return 10028
+	case diag.CatPortMismatch:
+		return 10112
+	case diag.CatNonConstantExpr:
+		return 10110
+	case diag.CatKeywordAsIdent:
+		return 10114
+	case diag.CatMalformedLiteral:
+		return 10120
+	case diag.CatSensitivityList:
+		return 10122
+	case diag.CatBadConcat:
+		return 10125
+	case diag.CatWidthMismatch:
+		return 10230
+	default:
+		return 10170
+	}
+}
+
+// Compile implements Compiler.
+func (Quartus) Compile(filename, src string) Result {
+	file, design, diags := Frontend(src)
+	res := Result{File: file, Design: design, Diags: diags, Ok: design != nil}
+	var b strings.Builder
+	warnings := diags.Warnings()
+	errs := diags.Errors()
+	if res.Ok {
+		for _, w := range warnings {
+			fmt.Fprintf(&b, "Warning (%d): Verilog HDL warning at %s(%d): %s\n",
+				quartusCode(w.Category), filename, w.Pos.Line, w.Message)
+		}
+		fmt.Fprintf(&b, "Info: Quartus Prime Analysis & Synthesis was successful. 0 errors, %d warnings\n",
+			len(warnings))
+		res.Log = b.String()
+		return res
+	}
+	for _, d := range errs {
+		fmt.Fprintf(&b, "Error (%d): Verilog HDL error at %s(%d): %s.",
+			quartusCode(d.Category), filename, d.Pos.Line, strings.TrimSuffix(d.Message, "."))
+		if d.Suggestion != "" {
+			fmt.Fprintf(&b, " %s", d.Suggestion)
+		}
+		fmt.Fprintf(&b, " File: /tmp/work/%s Line: %d\n", filename, d.Pos.Line)
+	}
+	for _, w := range warnings {
+		fmt.Fprintf(&b, "Warning (%d): Verilog HDL warning at %s(%d): %s\n",
+			quartusCode(w.Category), filename, w.Pos.Line, w.Message)
+	}
+	fmt.Fprintf(&b, "Error: Quartus Prime Analysis & Synthesis was unsuccessful. %d error(s), %d warning(s)\n",
+		len(errs), len(warnings))
+	res.Log = b.String()
+	return res
+}
+
+// ByName returns the persona with the given name (case-insensitive). The
+// boolean is false for unknown names.
+func ByName(name string) (Compiler, bool) {
+	switch strings.ToLower(name) {
+	case "simple":
+		return Simple{}, true
+	case "iverilog":
+		return IVerilog{}, true
+	case "quartus":
+		return Quartus{}, true
+	}
+	return nil, false
+}
+
+// All returns the three personas in ascending feedback-quality order, the
+// order Table 1's columns use.
+func All() []Compiler {
+	return []Compiler{Simple{}, IVerilog{}, Quartus{}}
+}

@@ -1,0 +1,223 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+)
+
+// paperExample is the erroneous implementation from the paper's Fig. 5
+// (task vector100r): posedge clk with no clk in the port list.
+const paperExample = `module top_module (
+	input [99:0] in,
+	output reg [99:0] out
+);
+	always @(posedge clk) begin
+		for (int i = 0; i < 100; i = i + 1) begin
+			out[i] <= in[99 - i];
+		end
+	end
+endmodule
+`
+
+const cleanExample = `module top_module (input [7:0] in, output [7:0] out);
+	assign out = ~in;
+endmodule
+`
+
+func TestPersonaNamesAndOrder(t *testing.T) {
+	all := All()
+	if len(all) != 3 {
+		t.Fatalf("got %d personas", len(all))
+	}
+	names := []string{all[0].Name(), all[1].Name(), all[2].Name()}
+	want := []string{"Simple", "iverilog", "Quartus"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("persona %d = %s, want %s", i, names[i], want[i])
+		}
+	}
+	// Feedback quality must be strictly increasing — Table 1's premise.
+	if !(all[0].InfoScore() < all[1].InfoScore() && all[1].InfoScore() < all[2].InfoScore()) {
+		t.Error("InfoScore must increase Simple < iverilog < Quartus")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"simple", "iverilog", "Quartus", "QUARTUS"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("vcs"); ok {
+		t.Error("unknown persona must not resolve")
+	}
+}
+
+func TestSimplePersonaRevealsNothing(t *testing.T) {
+	res := Simple{}.Compile("main.v", paperExample)
+	if res.Ok {
+		t.Fatal("paper example must fail to compile")
+	}
+	if strings.Contains(res.Log, "clk") {
+		t.Fatalf("Simple log must not mention the error: %q", res.Log)
+	}
+	if res.Log != "Correct the syntax error in the code." {
+		t.Fatalf("Simple log = %q", res.Log)
+	}
+}
+
+func TestIVerilogLogStyle(t *testing.T) {
+	res := IVerilog{}.Compile("vector100r.sv", paperExample)
+	if res.Ok {
+		t.Fatal("must fail")
+	}
+	if !strings.Contains(res.Log, "vector100r.sv:") {
+		t.Fatalf("iverilog log must carry file:line, got: %q", res.Log)
+	}
+	if !strings.Contains(res.Log, "Unable to bind wire/reg/memory `clk'") {
+		t.Fatalf("iverilog log should use the bind phrasing, got: %q", res.Log)
+	}
+	if !strings.Contains(res.Log, "error(s) during elaboration") {
+		t.Fatalf("iverilog log should end with elaboration count, got: %q", res.Log)
+	}
+}
+
+func TestQuartusLogStyle(t *testing.T) {
+	res := Quartus{}.Compile("vector100r.sv", paperExample)
+	if res.Ok {
+		t.Fatal("must fail")
+	}
+	if !strings.Contains(res.Log, "Error (10161)") {
+		t.Fatalf("Quartus log must carry error code 10161, got: %q", res.Log)
+	}
+	if !strings.Contains(res.Log, `object "clk" is not declared`) {
+		t.Fatalf("Quartus log must describe the undeclared object, got: %q", res.Log)
+	}
+	if !strings.Contains(res.Log, "Verify the object name is correct") {
+		t.Fatalf("Quartus log must carry the suggestion, got: %q", res.Log)
+	}
+	if !strings.Contains(res.Log, "Analysis & Synthesis was unsuccessful") {
+		t.Fatalf("Quartus log must carry the summary line, got: %q", res.Log)
+	}
+}
+
+func TestQuartusIndexOutOfRangeCode(t *testing.T) {
+	src := `module m(input [255:0] q, output y);
+	assign y = q[(0-1)*16 + (0-1)];
+endmodule`
+	res := Quartus{}.Compile("conwaylife.sv", src)
+	if res.Ok {
+		t.Fatal("must fail")
+	}
+	if !strings.Contains(res.Log, "Error (10232)") {
+		t.Fatalf("index error must use code 10232 (paper Fig. 6), got: %q", res.Log)
+	}
+	if !strings.Contains(res.Log, "cannot fall outside the declared range") {
+		t.Fatalf("message should match the paper's phrasing, got: %q", res.Log)
+	}
+}
+
+func TestIVerilogGivesUp(t *testing.T) {
+	// A file full of parse errors triggers the documented "I give up."
+	// degradation.
+	src := `module m(input a, output y);
+	assign y = ;
+	assign = a;
+	always @) begin
+	foo bar baz;
+	assign y { a;
+endmodule`
+	res := IVerilog{}.Compile("main.v", src)
+	if res.Ok {
+		t.Fatal("must fail")
+	}
+	if !strings.Contains(res.Log, "I give up.") {
+		t.Fatalf("expected give-up log, got: %q", res.Log)
+	}
+}
+
+func TestQuartusNeverGivesUp(t *testing.T) {
+	src := `module m(input a, output y);
+	assign y = ;
+	assign = a;
+	always @) begin
+	foo bar baz;
+endmodule`
+	res := Quartus{}.Compile("main.v", src)
+	if res.Ok {
+		t.Fatal("must fail")
+	}
+	if strings.Contains(res.Log, "I give up.") {
+		t.Fatal("Quartus persona must not degrade")
+	}
+	if !strings.Contains(res.Log, "Error (") {
+		t.Fatalf("Quartus must still report coded errors, got %q", res.Log)
+	}
+}
+
+func TestAllPersonasAgreeOnPassFail(t *testing.T) {
+	for _, c := range All() {
+		if res := c.Compile("main.v", cleanExample); !res.Ok {
+			t.Errorf("%s rejects clean code: %s", c.Name(), res.Log)
+		}
+		if res := c.Compile("main.v", paperExample); res.Ok {
+			t.Errorf("%s accepts broken code", c.Name())
+		}
+	}
+}
+
+func TestFrontendMasksSemaBehindParseErrors(t *testing.T) {
+	// The cascade rule: with a parse error present, the undeclared 'clk'
+	// must NOT be reported yet; fixing the parse error reveals it.
+	src := `module m(input d, output reg q);
+	always @(posedge clk)
+		q <= d
+endmodule`
+	_, _, diags := Frontend(src)
+	if !diags.HasErrors() {
+		t.Fatal("must fail")
+	}
+	for _, d := range diags {
+		if d.Category == diag.CatUndeclaredIdent {
+			t.Fatal("sema errors must be masked by parse errors")
+		}
+	}
+	// After fixing the semicolon the clk error surfaces.
+	fixed := strings.Replace(src, "q <= d", "q <= d;", 1)
+	_, _, diags2 := Frontend(fixed)
+	found := false
+	for _, d := range diags2 {
+		if d.Category == diag.CatUndeclaredIdent {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fixing the parse error must reveal the sema error")
+	}
+}
+
+func TestResultDiagsCarryGroundTruth(t *testing.T) {
+	res := Quartus{}.Compile("main.v", paperExample)
+	if len(res.Diags.Errors()) == 0 {
+		t.Fatal("structured diagnostics must be preserved")
+	}
+	first, _ := res.Diags.First()
+	if first.Category != diag.CatUndeclaredIdent || first.Symbol != "clk" {
+		t.Fatalf("ground truth = %+v", first)
+	}
+}
+
+func TestQuartusWarningsOnSuccess(t *testing.T) {
+	src := `module m(input [3:0] a, output [7:0] y);
+	assign y = a;
+endmodule`
+	res := Quartus{}.Compile("main.v", src)
+	if !res.Ok {
+		t.Fatalf("width mismatch is a warning, not an error: %s", res.Log)
+	}
+	if !strings.Contains(res.Log, "Warning") {
+		t.Fatalf("warning should appear in the log: %q", res.Log)
+	}
+}

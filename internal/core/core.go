@@ -1,0 +1,107 @@
+// Package core is the public face of the RTLFixer reproduction: it wires
+// the rule-based pre-fixer, a compiler persona, the retrieval database,
+// and the simulated-LLM agent into the feedback loop of the paper's
+// Fig. 1. Downstream code (CLI, examples, benchmarks) talks to this
+// package only.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/compiler"
+	"repro/internal/llm"
+	"repro/internal/rag"
+)
+
+// Mode selects the prompting scheme.
+type Mode string
+
+// Prompting modes.
+const (
+	// ModeOneShot is the baseline: a single feedback turn.
+	ModeOneShot Mode = "one-shot"
+	// ModeReAct is the full iterative Thought/Action/Observation loop.
+	ModeReAct Mode = "react"
+)
+
+// Options configures a fixer instance.
+type Options struct {
+	// CompilerName selects the feedback persona: "simple", "iverilog",
+	// or "quartus". Default "quartus".
+	CompilerName string
+	// PersonaName selects the simulated LLM: "gpt-3.5" or "gpt-4".
+	// Default "gpt-3.5".
+	PersonaName string
+	// RAG enables the retrieval database (curated per compiler persona).
+	RAG bool
+	// Retriever overrides the retrieval strategy; nil uses exact-tag.
+	Retriever rag.Retriever
+	// Mode selects one-shot or ReAct; default ReAct.
+	Mode Mode
+	// MaxIterations bounds ReAct revisions; 0 means the paper's 10.
+	MaxIterations int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// RTLFixer is a configured debugging agent.
+type RTLFixer struct {
+	opts     Options
+	compiler compiler.Compiler
+	persona  llm.Persona
+	db       *rag.Database
+}
+
+// New validates options and builds a fixer.
+func New(opts Options) (*RTLFixer, error) {
+	if opts.CompilerName == "" {
+		opts.CompilerName = "quartus"
+	}
+	if opts.PersonaName == "" {
+		opts.PersonaName = "gpt-3.5"
+	}
+	if opts.Mode == "" {
+		opts.Mode = ModeReAct
+	}
+	comp, ok := compiler.ByName(opts.CompilerName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown compiler persona %q", opts.CompilerName)
+	}
+	persona, ok := llm.PersonaByName(opts.PersonaName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown LLM persona %q", opts.PersonaName)
+	}
+	f := &RTLFixer{opts: opts, compiler: comp, persona: persona}
+	if opts.RAG {
+		f.db = rag.ForCompiler(comp.Name())
+	}
+	return f, nil
+}
+
+// Compiler exposes the configured persona (for examples and tests).
+func (f *RTLFixer) Compiler() compiler.Compiler { return f.compiler }
+
+// Database returns the retrieval database, nil when RAG is off.
+func (f *RTLFixer) Database() *rag.Database { return f.db }
+
+// Fix runs the configured debugging loop on one erroneous source file.
+// sampleSeed distinguishes problem instances: the simulated model's
+// capability rolls are deterministic per (sample, error category), so the
+// same instance behaves consistently across retries, as a real model's
+// systematic weaknesses do.
+func (f *RTLFixer) Fix(filename, code string, sampleSeed int64) *agent.Transcript {
+	cfg := agent.Config{
+		Compiler:      f.compiler,
+		Model:         llm.NewModel(f.persona, f.opts.Seed^sampleSeed),
+		DB:            f.db,
+		Retriever:     f.opts.Retriever,
+		MaxIterations: f.opts.MaxIterations,
+		Filename:      filename,
+		SampleSeed:    sampleSeed,
+	}
+	if f.opts.Mode == ModeOneShot {
+		return agent.RunOneShot(cfg, code)
+	}
+	return agent.RunReAct(cfg, code)
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+const paperClkExample = `module top_module (
+	input [99:0] in,
+	output reg [99:0] out
+);
+	always @(posedge clk) begin
+		for (int i = 0; i < 100; i = i + 1) begin
+			out[i] <= in[99 - i];
+		end
+	end
+endmodule
+`
+
+func TestNewValidatesOptions(t *testing.T) {
+	if _, err := New(Options{CompilerName: "vcs"}); err == nil {
+		t.Fatal("unknown compiler must be rejected")
+	}
+	if _, err := New(Options{PersonaName: "llama"}); err == nil {
+		t.Fatal("unknown persona must be rejected")
+	}
+	f, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Compiler().Name() != "Quartus" {
+		t.Fatalf("default compiler = %s", f.Compiler().Name())
+	}
+	if f.Database() != nil {
+		t.Fatal("RAG must be off by default")
+	}
+}
+
+func TestFixPaperExampleReActRAG(t *testing.T) {
+	f, err := New(Options{CompilerName: "quartus", RAG: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clk case is a high-competence category with guidance; across a
+	// handful of seeds at least most runs must fix it.
+	fixed := 0
+	for seed := int64(0); seed < 10; seed++ {
+		tr := f.Fix("vector100r.sv", paperClkExample, seed)
+		if tr.Success {
+			fixed++
+			if res := f.Compiler().Compile("x.sv", tr.FinalCode); !res.Ok {
+				t.Fatalf("transcript claims success but code does not compile:\n%s", tr.FinalCode)
+			}
+		}
+	}
+	if fixed < 7 {
+		t.Fatalf("ReAct+RAG fixed only %d/10 runs of the paper's canonical example", fixed)
+	}
+}
+
+func TestFixTranscriptShape(t *testing.T) {
+	f, err := New(Options{CompilerName: "quartus", RAG: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := f.Fix("main.v", paperClkExample, 7)
+	r := tr.Render()
+	for _, want := range []string{"Thought 1:", "Action", "Observation"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, r)
+		}
+	}
+	if tr.Iterations < 1 {
+		t.Fatal("at least one revision must be recorded")
+	}
+}
+
+func TestFixOneShotRunsSingleIteration(t *testing.T) {
+	f, err := New(Options{CompilerName: "quartus", Mode: ModeOneShot, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := f.Fix("main.v", paperClkExample, 11)
+	if tr.Iterations != 1 {
+		t.Fatalf("one-shot made %d iterations", tr.Iterations)
+	}
+}
+
+func TestFixCleanCodeIsImmediateSuccess(t *testing.T) {
+	clean := "module m(input a, output y);\n\tassign y = ~a;\nendmodule\n"
+	f, err := New(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := f.Fix("main.v", clean, 1)
+	if !tr.Success || tr.Iterations != 0 {
+		t.Fatalf("clean code: success=%v iterations=%d", tr.Success, tr.Iterations)
+	}
+}
+
+func TestFixMarkdownWrappedCode(t *testing.T) {
+	wrapped := "Sure! Here is the corrected module:\n```verilog\nmodule m(input a, output y);\n\tassign y = a;\nendmodule\n```\nHope this helps!"
+	f, err := New(Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := f.Fix("main.v", wrapped, 2)
+	if !tr.Success {
+		t.Fatalf("fixer should strip markdown and pass: rules=%v", tr.FixerRules)
+	}
+	if len(tr.FixerRules) == 0 {
+		t.Fatal("fixer rules should have fired")
+	}
+}

@@ -1,0 +1,145 @@
+package curate
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/dataset"
+)
+
+func build(t *testing.T) ([]Entry, Stats) {
+	t.Helper()
+	return Build(Options{Seed: 5})
+}
+
+func TestBuildReachesPaperSize(t *testing.T) {
+	entries, stats := build(t)
+	if len(entries) != TargetSize {
+		t.Fatalf("built %d entries, want %d (stats %+v)", len(entries), TargetSize, stats)
+	}
+	if stats.Final != TargetSize {
+		t.Fatalf("stats.Final = %d", stats.Final)
+	}
+}
+
+func TestEveryEntryFailsCompilation(t *testing.T) {
+	entries, _ := build(t)
+	for _, e := range entries {
+		if _, design, _ := compiler.Frontend(e.Code); design != nil {
+			t.Errorf("%s: curated entry compiles:\n%s", e.ProblemID, e.Code)
+		}
+	}
+}
+
+func TestEntriesCarryGroundTruth(t *testing.T) {
+	entries, _ := build(t)
+	withMut, logicOK := 0, 0
+	for _, e := range entries {
+		if len(e.Mutations) > 0 {
+			withMut++
+		}
+		if e.LogicOK {
+			logicOK++
+		}
+		if e.ProblemID == "" || e.Description == "" {
+			t.Errorf("entry missing provenance: %+v", e)
+		}
+		if e.SampleSeed == 0 {
+			t.Error("entry missing sample seed")
+		}
+	}
+	if float64(withMut)/float64(len(entries)) < 0.9 {
+		t.Errorf("only %d/%d entries have mutation records", withMut, len(entries))
+	}
+	// Some but not all entries must be logically correct underneath —
+	// this mixture is what bounds pass@1 improvement in Table 2.
+	if logicOK == 0 || logicOK == len(entries) {
+		t.Errorf("LogicOK mixture degenerate: %d/%d", logicOK, len(entries))
+	}
+}
+
+func TestEntriesAreDeduplicated(t *testing.T) {
+	entries, _ := build(t)
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if seen[e.Code] {
+			t.Error("duplicate code in curated set")
+		}
+		seen[e.Code] = true
+	}
+}
+
+func TestBothSuitesRepresented(t *testing.T) {
+	entries, _ := build(t)
+	counts := map[dataset.Suite]int{}
+	for _, e := range entries {
+		counts[e.Suite]++
+	}
+	if counts[dataset.SuiteMachine] == 0 || counts[dataset.SuiteHuman] == 0 {
+		t.Fatalf("suite mix degenerate: %v", counts)
+	}
+}
+
+func TestStatsMonotone(t *testing.T) {
+	_, stats := build(t)
+	if stats.Sampled < stats.CompileFailing {
+		t.Error("sampled < compile-failing")
+	}
+	if stats.CompileFailing < stats.Filtered {
+		t.Error("compile-failing < filtered (dedup can only shrink)")
+	}
+	if stats.Clusters <= 0 {
+		t.Error("clustering found no clusters")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, _ := Build(Options{Seed: 9})
+	b, _ := Build(Options{Seed: 9})
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic size")
+	}
+	for i := range a {
+		if a[i].Code != b[i].Code {
+			t.Fatal("non-deterministic content")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, _ := Build(Options{Seed: 1})
+	b, _ := Build(Options{Seed: 2})
+	same := 0
+	for i := range a {
+		if i < len(b) && a[i].Code == b[i].Code {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestCustomTarget(t *testing.T) {
+	entries, _ := Build(Options{Seed: 3, Target: 50})
+	if len(entries) != 50 {
+		t.Fatalf("custom target ignored: %d", len(entries))
+	}
+}
+
+func TestValidModule(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"module m(input a, output y);\nassign y = a;\nendmodule", true},
+		{"module m;\nendmodule", false}, // empty body
+		{"not verilog at all", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := validModule(c.src); got != c.want {
+			t.Errorf("validModule(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package fixer is the paper's "simple rule-based syntax fixer": a
+// deterministic pre-pass applied to every LLM-generated Verilog sample
+// before compilation (§4 Setup). It repairs the trivial, mechanical defects
+// LLM output tends to carry — markdown fences, chat prose around the code,
+// misplaced `timescale directives, duplicated endmodule keywords, smart
+// quotes — so the agent spends its iterations on real syntax errors.
+package fixer
+
+import (
+	"strings"
+)
+
+// Result reports what the fixer did.
+type Result struct {
+	// Code is the cleaned source.
+	Code string
+	// Applied lists the names of the rules that changed the input, in
+	// application order.
+	Applied []string
+}
+
+// Rule is one deterministic rewrite. Apply returns the (possibly
+// unchanged) source and whether it modified anything.
+type Rule struct {
+	Name  string
+	Apply func(src string) (string, bool)
+}
+
+// Rules returns the standard rule set, in application order.
+func Rules() []Rule {
+	return []Rule{
+		{Name: "extract-markdown-block", Apply: extractMarkdownBlock},
+		{Name: "strip-chat-prose", Apply: stripChatProse},
+		{Name: "normalize-smart-quotes", Apply: normalizeSmartQuotes},
+		{Name: "hoist-timescale", Apply: hoistTimescale},
+		{Name: "drop-duplicate-endmodule", Apply: dropDuplicateEndmodule},
+		{Name: "trim-trailing-garbage", Apply: trimTrailingGarbage},
+	}
+}
+
+// Fix applies every rule once, in order.
+func Fix(src string) Result {
+	res := Result{Code: src}
+	for _, r := range Rules() {
+		next, changed := r.Apply(res.Code)
+		if changed {
+			res.Code = next
+			res.Applied = append(res.Applied, r.Name)
+		}
+	}
+	return res
+}
+
+// extractMarkdownBlock pulls the contents of the first fenced code block
+// when the input looks like a chat answer (```verilog ... ```).
+func extractMarkdownBlock(src string) (string, bool) {
+	if !strings.Contains(src, "```") {
+		return src, false
+	}
+	lines := strings.Split(src, "\n")
+	var out []string
+	in := false
+	found := false
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			if !in {
+				in = true
+				found = true
+				continue
+			}
+			break // end of the first block
+		}
+		if in {
+			out = append(out, line)
+		}
+	}
+	if !found || len(out) == 0 {
+		// Unbalanced fence: just delete fence lines.
+		var kept []string
+		for _, line := range lines {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n"), true
+	}
+	return strings.Join(out, "\n"), true
+}
+
+// stripChatProse deletes leading lines before the first structural Verilog
+// line (module/directive/comment), which removes "Sure! Here is the
+// corrected code:" style prefixes.
+func stripChatProse(src string) (string, bool) {
+	lines := strings.Split(src, "\n")
+	start := 0
+	for i, line := range lines {
+		t := strings.TrimSpace(line)
+		if t == "" {
+			continue
+		}
+		if looksLikeVerilogStart(t) {
+			start = i
+			break
+		}
+		// A non-code line before any code: candidate prose. Keep
+		// scanning; if code follows, everything before it goes.
+		start = -1
+	}
+	if start <= 0 {
+		if start == 0 {
+			return src, false
+		}
+		// No code found at all: leave untouched and let the compiler
+		// complain.
+		return src, false
+	}
+	return strings.Join(lines[start:], "\n"), true
+}
+
+func looksLikeVerilogStart(t string) bool {
+	return strings.HasPrefix(t, "module") ||
+		strings.HasPrefix(t, "`") ||
+		strings.HasPrefix(t, "//") ||
+		strings.HasPrefix(t, "/*")
+}
+
+// normalizeSmartQuotes replaces typographic quotes that chat output
+// sometimes carries into string or literal positions.
+func normalizeSmartQuotes(src string) (string, bool) {
+	replaced := strings.NewReplacer(
+		"‘", "'", "’", "'",
+		"“", `"`, "”", `"`,
+	).Replace(src)
+	return replaced, replaced != src
+}
+
+// hoistTimescale moves `timescale directives that appear inside a module
+// body to the top of the file. A misplaced timescale is the paper's
+// example of what the rule-based fixer handles.
+func hoistTimescale(src string) (string, bool) {
+	lines := strings.Split(src, "\n")
+	var directives, rest []string
+	inModule := false
+	changed := false
+	for _, line := range lines {
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, "module") {
+			inModule = true
+		}
+		if strings.HasPrefix(t, "`timescale") && inModule {
+			directives = append(directives, line)
+			changed = true
+			continue
+		}
+		rest = append(rest, line)
+		if strings.HasPrefix(t, "endmodule") {
+			inModule = false
+		}
+	}
+	if !changed {
+		return src, false
+	}
+	return strings.Join(append(directives, rest...), "\n"), true
+}
+
+// dropDuplicateEndmodule removes endmodule keywords beyond the balance
+// point (one endmodule per module).
+func dropDuplicateEndmodule(src string) (string, bool) {
+	closes := strings.Count(src, "endmodule")
+	// Each "endmodule" also contains the substring "module", so the count
+	// of standalone module keywords is the difference.
+	opens := strings.Count(src, "module") - closes
+	if closes <= opens || closes <= 1 {
+		return src, false
+	}
+	// Delete only directly stacked duplicates at the bottom of the file
+	// ("endmodule\nendmodule"), the shape LLM output actually produces.
+	// An interior surplus endmodule is a real structural error the agent
+	// should get to see.
+	lines := strings.Split(src, "\n")
+	surplus := closes - opens
+	changed := false
+	for i := len(lines) - 1; i >= 1 && surplus > 0; i-- {
+		t := strings.TrimSpace(lines[i])
+		if t == "" {
+			continue
+		}
+		if t != "endmodule" {
+			break
+		}
+		// previous non-blank line must also be a lone endmodule
+		j := i - 1
+		for j >= 0 && strings.TrimSpace(lines[j]) == "" {
+			j--
+		}
+		if j < 0 || strings.TrimSpace(lines[j]) != "endmodule" {
+			break
+		}
+		lines = append(lines[:i], lines[i+1:]...)
+		surplus--
+		changed = true
+		i = j + 1 // re-examine from the surviving endmodule
+	}
+	if !changed {
+		return src, false
+	}
+	return strings.Join(lines, "\n"), true
+}
+
+// trimTrailingGarbage removes prose after the final endmodule.
+func trimTrailingGarbage(src string) (string, bool) {
+	idx := strings.LastIndex(src, "endmodule")
+	if idx < 0 {
+		return src, false
+	}
+	end := idx + len("endmodule")
+	tail := src[end:]
+	if strings.TrimSpace(tail) == "" {
+		return src, false
+	}
+	return src[:end] + "\n", true
+}

@@ -1,0 +1,152 @@
+package fixer
+
+import (
+	"strings"
+	"testing"
+)
+
+const clean = `module m(input a, output y);
+	assign y = ~a;
+endmodule
+`
+
+func TestFixLeavesCleanCodeAlone(t *testing.T) {
+	res := Fix(clean)
+	if len(res.Applied) != 0 {
+		t.Fatalf("rules fired on clean code: %v", res.Applied)
+	}
+	if res.Code != clean {
+		t.Fatal("clean code modified")
+	}
+}
+
+func TestExtractMarkdownBlock(t *testing.T) {
+	src := "Sure! Here's the fix:\n```verilog\n" + clean + "```\nLet me know if it works."
+	res := Fix(src)
+	if !strings.Contains(res.Code, "module m") {
+		t.Fatalf("module lost: %q", res.Code)
+	}
+	if strings.Contains(res.Code, "```") || strings.Contains(res.Code, "Sure!") {
+		t.Fatalf("markdown残: %q", res.Code)
+	}
+	if !applied(res, "extract-markdown-block") {
+		t.Errorf("rule not recorded: %v", res.Applied)
+	}
+}
+
+func TestExtractFirstBlockOnly(t *testing.T) {
+	src := "```\nmodule a; endmodule\n```\nand also\n```\nmodule b; endmodule\n```"
+	res := Fix(src)
+	if strings.Contains(res.Code, "module b") {
+		t.Fatalf("second block leaked: %q", res.Code)
+	}
+}
+
+func TestUnbalancedFenceDropsFenceLines(t *testing.T) {
+	src := "```verilog\n" + clean
+	res := Fix(src)
+	if strings.Contains(res.Code, "```") {
+		t.Fatalf("fence survived: %q", res.Code)
+	}
+	if !strings.Contains(res.Code, "module m") {
+		t.Fatalf("module lost: %q", res.Code)
+	}
+}
+
+func TestStripChatProse(t *testing.T) {
+	src := "Certainly — the corrected implementation is below.\n\n" + clean
+	res := Fix(src)
+	if strings.Contains(res.Code, "Certainly") {
+		t.Fatalf("prose survived: %q", res.Code)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(res.Code), "module") {
+		t.Fatalf("should start at module: %q", res.Code)
+	}
+}
+
+func TestProseOnlyInputUntouched(t *testing.T) {
+	src := "I could not generate the code, sorry."
+	res := Fix(src)
+	if res.Code != src {
+		t.Fatalf("prose-only input should be untouched: %q", res.Code)
+	}
+}
+
+func TestHoistTimescale(t *testing.T) {
+	src := "module m(input a, output y);\n`timescale 1ns/1ps\nassign y = a;\nendmodule\n"
+	res := Fix(src)
+	lines := strings.Split(strings.TrimSpace(res.Code), "\n")
+	if !strings.HasPrefix(lines[0], "`timescale") {
+		t.Fatalf("timescale not hoisted:\n%s", res.Code)
+	}
+	if !applied(res, "hoist-timescale") {
+		t.Errorf("rule not recorded: %v", res.Applied)
+	}
+}
+
+func TestTimescaleAtTopUntouched(t *testing.T) {
+	src := "`timescale 1ns/1ps\n" + clean
+	res := Fix(src)
+	if applied(res, "hoist-timescale") {
+		t.Error("legal top-of-file timescale should not trigger the rule")
+	}
+}
+
+func TestDropDuplicateEndmodule(t *testing.T) {
+	src := clean + "endmodule\n"
+	res := Fix(src)
+	if got := strings.Count(res.Code, "endmodule"); got != 1 {
+		t.Fatalf("%d endmodules survive:\n%s", got, res.Code)
+	}
+}
+
+func TestInteriorEndmoduleSurvives(t *testing.T) {
+	// An endmodule in the middle is a real structural error the agent
+	// should see; only trailing surplus is cleaned.
+	src := "module m(input a, output y);\nendmodule\nassign y = a;\nendmodule\n"
+	res := Fix(src)
+	if !strings.Contains(res.Code, "assign y = a;") {
+		t.Fatalf("body lost:\n%s", res.Code)
+	}
+}
+
+func TestNormalizeSmartQuotes(t *testing.T) {
+	src := "module m(input a, output y);\n\tassign y = a; // it’s “fine”\nendmodule\n"
+	res := Fix(src)
+	if strings.ContainsAny(res.Code, "‘’“”") {
+		t.Fatalf("smart quotes survive: %q", res.Code)
+	}
+}
+
+func TestTrimTrailingGarbage(t *testing.T) {
+	src := clean + "\nThis implementation reverses the bits as requested."
+	res := Fix(src)
+	if strings.Contains(res.Code, "reverses the bits") {
+		t.Fatalf("trailing prose survives: %q", res.Code)
+	}
+}
+
+func TestRulesAreIdempotent(t *testing.T) {
+	srcs := []string{
+		"```verilog\n" + clean + "```",
+		"prose first\n" + clean,
+		clean + "endmodule\n",
+		"module m(input a, output y);\n`timescale 1ns/1ps\nassign y = a;\nendmodule",
+	}
+	for _, src := range srcs {
+		once := Fix(src)
+		twice := Fix(once.Code)
+		if twice.Code != once.Code {
+			t.Errorf("not idempotent:\nfirst:\n%s\nsecond:\n%s", once.Code, twice.Code)
+		}
+	}
+}
+
+func applied(res Result, rule string) bool {
+	for _, r := range res.Applied {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}

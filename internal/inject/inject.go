@@ -1,0 +1,544 @@
+// Package inject mutates syntactically correct Verilog into erroneous
+// implementations with known ground truth. It stands in for the paper's
+// sampling step ("Code samples were selected from VerilogEval problems
+// using One-shot and ReAct prompting with gpt-3.5-turbo, retaining only
+// error-inducing samples", §3.4): instead of sampling a live LLM, each
+// mutator reproduces one class of syntax error that LLM-generated Verilog
+// exhibits, tagged with the diagnostic category the compiler is expected
+// to report and a difficulty score the simulated LLM's repair model
+// consumes.
+//
+// The difficulty calibration mirrors the paper's observations: mechanical
+// defects (missing semicolons, misplaced directives) are near-trivial,
+// declaration-kind defects (reg/wire confusion) are easy once feedback
+// names the signal, and index-arithmetic defects (§5 Fig. 6) are hard
+// enough that even RAG-assisted agents fail on a fraction of them.
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+
+	"repro/internal/diag"
+)
+
+// Mutation records one injected error: the ground truth the benchmark
+// keeps about an erroneous sample.
+type Mutation struct {
+	// Mutator is the name of the rule that produced the error.
+	Mutator string
+	// Category is the diagnostic category the compiler is expected to
+	// report for this error.
+	Category diag.Category
+	// Difficulty in [0,1] scales how hard the error is to repair for the
+	// simulated LLM: 0 = mechanical, 1 = requires reasoning the paper
+	// found LLMs incapable of.
+	Difficulty float64
+	// Line is the approximate 1-based source line of the defect.
+	Line int
+}
+
+// Mutator is one error-injection rule.
+type Mutator struct {
+	Name       string
+	Category   diag.Category
+	Difficulty float64
+	// Apply attempts the mutation. ok is false when the source has no
+	// applicable site.
+	Apply func(src string, rng *rand.Rand) (out string, line int, ok bool)
+}
+
+// All returns every mutator, in a stable order.
+func All() []Mutator {
+	return []Mutator{
+		{Name: "drop-semicolon", Category: diag.CatMissingSemicolon, Difficulty: 0.08, Apply: dropSemicolon},
+		{Name: "drop-end", Category: diag.CatUnmatchedBeginEnd, Difficulty: 0.30, Apply: dropEnd},
+		{Name: "drop-endmodule", Category: diag.CatMissingEndmodule, Difficulty: 0.08, Apply: dropEndmodule},
+		{Name: "drop-clock-port", Category: diag.CatUndeclaredIdent, Difficulty: 0.28, Apply: dropClockPort},
+		{Name: "misspell-identifier", Category: diag.CatUndeclaredIdent, Difficulty: 0.22, Apply: misspellIdent},
+		{Name: "index-overflow", Category: diag.CatIndexOutOfRange, Difficulty: 0.42, Apply: indexOverflow},
+		{Name: "index-arithmetic", Category: diag.CatIndexOutOfRange, Difficulty: 0.93, Apply: indexArithmetic},
+		{Name: "reg-to-wire", Category: diag.CatInvalidLValue, Difficulty: 0.20, Apply: regToWire},
+		{Name: "wire-to-reg", Category: diag.CatAssignToReg, Difficulty: 0.20, Apply: wireToReg},
+		{Name: "c-style-increment", Category: diag.CatCStyleSyntax, Difficulty: 0.14, Apply: cStyleIncrement},
+		{Name: "c-style-compound", Category: diag.CatCStyleSyntax, Difficulty: 0.16, Apply: cStyleCompound},
+		{Name: "c-style-braces", Category: diag.CatCStyleSyntax, Difficulty: 0.38, Apply: cStyleBraces},
+		{Name: "misplaced-timescale", Category: diag.CatMisplacedDirective, Difficulty: 0.04, Apply: misplacedTimescale},
+		{Name: "keyword-as-ident", Category: diag.CatKeywordAsIdent, Difficulty: 0.24, Apply: keywordAsIdent},
+		{Name: "malformed-literal", Category: diag.CatMalformedLiteral, Difficulty: 0.15, Apply: malformedLiteral},
+		{Name: "duplicate-decl", Category: diag.CatDuplicateDecl, Difficulty: 0.10, Apply: duplicateDecl},
+		{Name: "drop-sensitivity", Category: diag.CatSensitivityList, Difficulty: 0.20, Apply: dropSensitivity},
+		{Name: "slice-overflow", Category: diag.CatIndexOutOfRange, Difficulty: 0.55, Apply: sliceOverflow},
+	}
+}
+
+// ByName returns the named mutator.
+func ByName(name string) (Mutator, bool) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Mutator{}, false
+}
+
+// Inject applies the given mutator to src. ok is false when the mutator
+// found no applicable site.
+func Inject(src string, m Mutator, rng *rand.Rand) (string, Mutation, bool) {
+	out, line, ok := m.Apply(src, rng)
+	if !ok {
+		return src, Mutation{}, false
+	}
+	return out, Mutation{
+		Mutator:    m.Name,
+		Category:   m.Category,
+		Difficulty: m.Difficulty,
+		Line:       line,
+	}, true
+}
+
+// InjectRandom applies up to k distinct random mutators, producing
+// multi-error samples (the cascades that reward iterative debugging).
+// It returns the mutated source and the mutations actually applied.
+func InjectRandom(src string, k int, rng *rand.Rand) (string, []Mutation) {
+	muts := All()
+	rng.Shuffle(len(muts), func(i, j int) { muts[i], muts[j] = muts[j], muts[i] })
+	out := src
+	var applied []Mutation
+	for _, m := range muts {
+		if len(applied) >= k {
+			break
+		}
+		next, mut, ok := Inject(out, m, rng)
+		if !ok {
+			continue
+		}
+		out = next
+		applied = append(applied, mut)
+	}
+	return out, applied
+}
+
+// ---------- helpers ----------
+
+type linePred func(trimmed string) bool
+
+// pickLine returns a random line index satisfying pred, or -1.
+func pickLine(lines []string, rng *rand.Rand, pred linePred) int {
+	var candidates []int
+	for i, l := range lines {
+		if pred(strings.TrimSpace(l)) {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[rng.Intn(len(candidates))]
+}
+
+func joinLines(lines []string) string { return strings.Join(lines, "\n") }
+
+// ---------- mutators ----------
+
+func dropSemicolon(src string, rng *rand.Rand) (string, int, bool) {
+	lines := strings.Split(src, "\n")
+	idx := pickLine(lines, rng, func(t string) bool {
+		return strings.HasSuffix(t, ";") &&
+			(strings.HasPrefix(t, "assign") || strings.Contains(t, "<=") ||
+				strings.HasPrefix(t, "wire") || strings.HasPrefix(t, "reg") ||
+				strings.HasPrefix(t, "integer"))
+	})
+	if idx < 0 {
+		return src, 0, false
+	}
+	lines[idx] = strings.TrimSuffix(strings.TrimRight(lines[idx], " \t"), ";")
+	return joinLines(lines), idx + 1, true
+}
+
+func dropEnd(src string, rng *rand.Rand) (string, int, bool) {
+	lines := strings.Split(src, "\n")
+	idx := pickLine(lines, rng, func(t string) bool { return t == "end" })
+	if idx < 0 {
+		return src, 0, false
+	}
+	lines = append(lines[:idx], lines[idx+1:]...)
+	return joinLines(lines), idx + 1, true
+}
+
+func dropEndmodule(src string, _ *rand.Rand) (string, int, bool) {
+	idx := strings.LastIndex(src, "endmodule")
+	if idx < 0 {
+		return src, 0, false
+	}
+	line := strings.Count(src[:idx], "\n") + 1
+	return src[:idx] + src[idx+len("endmodule"):], line, true
+}
+
+// dropClockPort removes 'clk' (or another single-bit control input) from
+// the port list while the body keeps using it — the paper's canonical
+// undeclared-object case (Fig. 5).
+var clockPortRe = regexp.MustCompile(`(?m)^\s*input\s+(clk|clock|rst|reset|areset|en|ena)\s*,?\s*$`)
+
+func dropClockPort(src string, _ *rand.Rand) (string, int, bool) {
+	loc := clockPortRe.FindStringIndex(src)
+	if loc == nil {
+		return src, 0, false
+	}
+	name := strings.TrimSpace(src[loc[0]:loc[1]])
+	name = strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(name, "input")), ",")
+	// The body must actually use it, and it must not be the only port
+	// mention that keeps the list parseable.
+	body := src[loc[1]:]
+	if !strings.Contains(body, name) {
+		return src, 0, false
+	}
+	line := strings.Count(src[:loc[0]], "\n") + 1
+	out := src[:loc[0]] + src[loc[1]:]
+	return out, line, true
+}
+
+// identUseRe matches identifier uses; the leading group excludes based
+// literals (8'hff would otherwise offer "hff" as an identifier).
+var identUseRe = regexp.MustCompile(`(^|[^'A-Za-z0-9_])([a-z][a-z0-9_]{2,})\b`)
+
+// misspellIdent renames one use (not the declaration) of a signal.
+func misspellIdent(src string, rng *rand.Rand) (string, int, bool) {
+	lines := strings.Split(src, "\n")
+	// Only mutate inside expressions on assign/always body lines.
+	idx := pickLine(lines, rng, func(t string) bool {
+		return (strings.HasPrefix(t, "assign") || strings.Contains(t, "<=") ||
+			(strings.Contains(t, "=") && !strings.Contains(t, "=="))) &&
+			!strings.Contains(t, "parameter")
+	})
+	if idx < 0 {
+		return src, 0, false
+	}
+	line := lines[idx]
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return src, 0, false
+	}
+	rhs := line[eq:]
+	m := identUseRe.FindAllStringSubmatchIndex(rhs, -1)
+	var usable [][]int
+	for _, span := range m {
+		word := rhs[span[4]:span[5]]
+		if isReserved(word) {
+			continue
+		}
+		usable = append(usable, []int{span[4], span[5]})
+	}
+	if len(usable) == 0 {
+		return src, 0, false
+	}
+	span := usable[rng.Intn(len(usable))]
+	word := rhs[span[0]:span[1]]
+	misspelled := word + "_r"
+	if strings.HasSuffix(word, "_r") {
+		misspelled = strings.TrimSuffix(word, "_r")
+	}
+	lines[idx] = line[:eq] + rhs[:span[0]] + misspelled + rhs[span[1]:]
+	return joinLines(lines), idx + 1, true
+}
+
+func isReserved(w string) bool {
+	switch w {
+	case "assign", "always", "begin", "end", "posedge", "negedge", "input",
+		"output", "wire", "reg", "integer", "module", "endmodule", "case",
+		"endcase", "default", "else", "for", "int", "localparam",
+		"parameter", "signed", "logic", "genvar", "casez", "casex", "initial":
+		return true
+	}
+	return false
+}
+
+var rangeDeclRe = regexp.MustCompile(`\[(\d+):0\]\s*([a-zA-Z_][a-zA-Z0-9_]*)`)
+var constIndexRe = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)\[(\d+)\]`)
+
+// indexOverflow bumps a constant index to one past the declared MSB, the
+// paper's Fig. 2a error (out[8] on [7:0]).
+func indexOverflow(src string, rng *rand.Rand) (string, int, bool) {
+	widths := map[string]int{}
+	for _, m := range rangeDeclRe.FindAllStringSubmatch(src, -1) {
+		var msb int
+		fmt.Sscanf(m[1], "%d", &msb)
+		widths[m[2]] = msb
+	}
+	if len(widths) == 0 {
+		return src, 0, false
+	}
+	idxs := constIndexRe.FindAllStringSubmatchIndex(src, -1)
+	var usable [][]int
+	for _, span := range idxs {
+		name := src[span[2]:span[3]]
+		var val int
+		fmt.Sscanf(src[span[4]:span[5]], "%d", &val)
+		if msb, ok := widths[name]; ok && val == msb {
+			usable = append(usable, span)
+		}
+	}
+	if len(usable) == 0 {
+		return src, 0, false
+	}
+	span := usable[rng.Intn(len(usable))]
+	var msb int
+	fmt.Sscanf(src[span[4]:span[5]], "%d", &msb)
+	out := src[:span[4]] + fmt.Sprintf("%d", msb+1) + src[span[5]:]
+	line := strings.Count(src[:span[0]], "\n") + 1
+	return out, line, true
+}
+
+// indexArithmetic replaces a simple loop-bounded index with arithmetic
+// that folds to a negative constant — the paper's Fig. 6 failure case,
+// which requires arithmetic reasoning to repair.
+func indexArithmetic(src string, rng *rand.Rand) (string, int, bool) {
+	widths := map[string]int{}
+	for _, m := range rangeDeclRe.FindAllStringSubmatch(src, -1) {
+		var msb int
+		fmt.Sscanf(m[1], "%d", &msb)
+		widths[m[2]] = msb
+	}
+	idxs := constIndexRe.FindAllStringSubmatchIndex(src, -1)
+	var usable [][]int
+	for _, span := range idxs {
+		name := src[span[2]:span[3]]
+		if _, ok := widths[name]; ok {
+			usable = append(usable, span)
+		}
+	}
+	if len(usable) == 0 {
+		return src, 0, false
+	}
+	span := usable[rng.Intn(len(usable))]
+	name := src[span[2]:span[3]]
+	msb := widths[name]
+	// (0-1)*K + old : folds negative regardless of old value.
+	k := 1 + rng.Intn(15)
+	old := src[span[4]:span[5]]
+	out := src[:span[4]] + fmt.Sprintf("(0-1)*%d + %s", k, old) + src[span[5]:]
+	_ = msb
+	line := strings.Count(src[:span[0]], "\n") + 1
+	return out, line, true
+}
+
+var outputRegRe = regexp.MustCompile(`output\s+reg\b`)
+
+// regToWire strips 'reg' from an 'output reg' port that an always block
+// drives — iverilog's "not a valid l-value".
+func regToWire(src string, _ *rand.Rand) (string, int, bool) {
+	if !strings.Contains(src, "always") {
+		return src, 0, false
+	}
+	loc := outputRegRe.FindStringIndex(src)
+	if loc == nil {
+		return src, 0, false
+	}
+	line := strings.Count(src[:loc[0]], "\n") + 1
+	out := src[:loc[0]] + "output" + src[loc[1]:]
+	return out, line, true
+}
+
+var assignTargetRe = regexp.MustCompile(`(?m)^\s*assign\s+([a-zA-Z_][a-zA-Z0-9_]*)`)
+
+// wireToReg turns an assign-driven output into a reg.
+func wireToReg(src string, _ *rand.Rand) (string, int, bool) {
+	m := assignTargetRe.FindStringSubmatch(src)
+	if m == nil {
+		return src, 0, false
+	}
+	target := m[1]
+	// Find its declaration in the header: "output [..] target" or
+	// "output target".
+	declRe := regexp.MustCompile(`output\s+(\[[^\]]+\]\s*)?` + regexp.QuoteMeta(target) + `\b`)
+	loc := declRe.FindStringIndex(src)
+	if loc == nil {
+		return src, 0, false
+	}
+	seg := src[loc[0]:loc[1]]
+	if strings.Contains(seg, "reg") {
+		return src, 0, false
+	}
+	out := src[:loc[0]] + strings.Replace(seg, "output", "output reg", 1) + src[loc[1]:]
+	line := strings.Count(src[:loc[0]], "\n") + 1
+	return out, line, true
+}
+
+var incrementRe = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*([a-zA-Z_][a-zA-Z0-9_]*)\s*\+\s*1\b`)
+
+// cStyleIncrement turns 'i = i + 1' into 'i++'.
+func cStyleIncrement(src string, _ *rand.Rand) (string, int, bool) {
+	for _, m := range incrementRe.FindAllStringSubmatchIndex(src, -1) {
+		a := src[m[2]:m[3]]
+		b := src[m[4]:m[5]]
+		if a != b {
+			continue
+		}
+		out := src[:m[0]] + a + "++" + src[m[1]:]
+		line := strings.Count(src[:m[0]], "\n") + 1
+		return out, line, true
+	}
+	return src, 0, false
+}
+
+var compoundRe = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)\s*(<=|=)\s*([a-zA-Z_][a-zA-Z0-9_]*)\s*([+\-|&^])\s*`)
+
+// cStyleCompound turns 'x = x + y' into 'x += y' (and the <= variant).
+func cStyleCompound(src string, _ *rand.Rand) (string, int, bool) {
+	for _, m := range compoundRe.FindAllStringSubmatchIndex(src, -1) {
+		lhs := src[m[2]:m[3]]
+		rhs := src[m[6]:m[7]]
+		if lhs != rhs {
+			continue
+		}
+		op := src[m[8]:m[9]]
+		out := src[:m[0]] + lhs + " " + op + "= " + src[m[1]:]
+		line := strings.Count(src[:m[0]], "\n") + 1
+		return out, line, true
+	}
+	return src, 0, false
+}
+
+// cStyleBraces replaces one begin/end pair with C braces.
+func cStyleBraces(src string, rng *rand.Rand) (string, int, bool) {
+	lines := strings.Split(src, "\n")
+	beginIdx := pickLine(lines, rng, func(t string) bool {
+		return strings.HasSuffix(t, "begin") && !strings.HasPrefix(t, "module")
+	})
+	if beginIdx < 0 {
+		return src, 0, false
+	}
+	depth := 0
+	endIdx := -1
+	for i := beginIdx; i < len(lines); i++ {
+		t := strings.TrimSpace(lines[i])
+		depth += strings.Count(t, "begin")
+		if t == "end" || strings.HasPrefix(t, "end ") || strings.HasSuffix(t, " end") {
+			depth--
+			if depth == 0 {
+				endIdx = i
+				break
+			}
+		}
+	}
+	if endIdx < 0 {
+		return src, 0, false
+	}
+	lines[beginIdx] = strings.Replace(lines[beginIdx], "begin", "{", 1)
+	lines[endIdx] = strings.Replace(lines[endIdx], "end", "}", 1)
+	return joinLines(lines), beginIdx + 1, true
+}
+
+// misplacedTimescale inserts a `timescale directive inside the module.
+func misplacedTimescale(src string, rng *rand.Rand) (string, int, bool) {
+	lines := strings.Split(src, "\n")
+	idx := pickLine(lines, rng, func(t string) bool {
+		return strings.HasPrefix(t, "assign") || strings.HasPrefix(t, "always")
+	})
+	if idx < 0 {
+		return src, 0, false
+	}
+	out := append(lines[:idx:idx], append([]string{"`timescale 1ns/1ps"}, lines[idx:]...)...)
+	return joinLines(out), idx + 1, true
+}
+
+// keywordAsIdent declares an internal wire named after a reserved word.
+func keywordAsIdent(src string, rng *rand.Rand) (string, int, bool) {
+	lines := strings.Split(src, "\n")
+	idx := pickLine(lines, rng, func(t string) bool {
+		return strings.HasPrefix(t, "assign") || strings.HasPrefix(t, "always") ||
+			strings.HasPrefix(t, "wire") || strings.HasPrefix(t, "reg")
+	})
+	if idx < 0 {
+		return src, 0, false
+	}
+	kw := []string{"case", "begin", "wire", "reg"}[rng.Intn(4)]
+	out := append(lines[:idx:idx], append([]string{"\twire " + kw + ";"}, lines[idx:]...)...)
+	return joinLines(out), idx + 1, true
+}
+
+var literalRe = regexp.MustCompile(`(\d+)'([bh])([0-9a-fA-F_]+)`)
+
+// malformedLiteral corrupts one sized literal's digits.
+func malformedLiteral(src string, rng *rand.Rand) (string, int, bool) {
+	m := literalRe.FindAllStringSubmatchIndex(src, -1)
+	if len(m) == 0 {
+		return src, 0, false
+	}
+	span := m[rng.Intn(len(m))]
+	base := src[span[4]:span[5]]
+	var badDigit string
+	if base == "b" {
+		badDigit = "2"
+	} else {
+		badDigit = "g"
+	}
+	out := src[:span[6]] + badDigit + src[span[6]:]
+	line := strings.Count(src[:span[0]], "\n") + 1
+	return out, line, true
+}
+
+var wireDeclLineRe = regexp.MustCompile(`(?m)^\s*(wire|reg)\s+(\[[^\]]+\]\s*)?[a-zA-Z_][a-zA-Z0-9_]*\s*;\s*$`)
+
+// duplicateDecl duplicates an internal declaration line.
+func duplicateDecl(src string, _ *rand.Rand) (string, int, bool) {
+	loc := wireDeclLineRe.FindStringIndex(src)
+	if loc == nil {
+		return src, 0, false
+	}
+	decl := src[loc[0]:loc[1]]
+	out := src[:loc[1]] + "\n" + decl + src[loc[1]:]
+	line := strings.Count(src[:loc[0]], "\n") + 2
+	return out, line, true
+}
+
+var sensitivityRe = regexp.MustCompile(`always\s*@\s*(\(\s*[^)]*\)|\*)`)
+
+// dropSensitivity deletes the event control from an always block.
+func dropSensitivity(src string, _ *rand.Rand) (string, int, bool) {
+	loc := sensitivityRe.FindStringIndex(src)
+	if loc == nil {
+		return src, 0, false
+	}
+	line := strings.Count(src[:loc[0]], "\n") + 1
+	out := src[:loc[0]] + "always" + src[loc[1]:]
+	return out, line, true
+}
+
+var sliceRe = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)\[(\d+):(\d+)\]`)
+
+// sliceOverflow shifts a part-select past the declared MSB.
+func sliceOverflow(src string, rng *rand.Rand) (string, int, bool) {
+	widths := map[string]int{}
+	for _, m := range rangeDeclRe.FindAllStringSubmatch(src, -1) {
+		var msb int
+		fmt.Sscanf(m[1], "%d", &msb)
+		widths[m[2]] = msb
+	}
+	spans := sliceRe.FindAllStringSubmatchIndex(src, -1)
+	var usable [][]int
+	for _, span := range spans {
+		name := src[span[2]:span[3]]
+		var hi int
+		fmt.Sscanf(src[span[4]:span[5]], "%d", &hi)
+		if msb, ok := widths[name]; ok && hi == msb && msb > 0 {
+			// skip the declaration itself: it matches "name[msb:0]" only
+			// when written as a select, and declarations use "[msb:0] name"
+			usable = append(usable, span)
+		}
+	}
+	if len(usable) == 0 {
+		return src, 0, false
+	}
+	span := usable[rng.Intn(len(usable))]
+	var hi, lo int
+	fmt.Sscanf(src[span[4]:span[5]], "%d", &hi)
+	fmt.Sscanf(src[span[6]:span[7]], "%d", &lo)
+	out := src[:span[4]] + fmt.Sprintf("%d:%d", hi+1, lo+1) + src[span[5]:]
+	// The replacement covers "hi" through before "]"; rebuild precisely:
+	out = src[:span[4]] + fmt.Sprintf("%d", hi+1) + src[span[5]:span[6]] + fmt.Sprintf("%d", lo+1) + src[span[7]:]
+	line := strings.Count(src[:span[0]], "\n") + 1
+	return out, line, true
+}

@@ -1,0 +1,199 @@
+package inject
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/dataset"
+	"repro/internal/diag"
+)
+
+// fixtures with enough structure for every mutator to find a site.
+const richFixture = `module top_module (
+	input clk,
+	input reset,
+	input [7:0] in,
+	output reg [7:0] out,
+	output [7:0] inv
+);
+	wire [7:0] tmp;
+	assign tmp = in ^ 8'hff;
+	assign inv = tmp;
+	always @(posedge clk) begin
+		if (reset)
+			out <= 0;
+		else begin
+			for (int i = 0; i < 8; i = i + 1)
+				out[i] <= in[7 - i];
+		end
+	end
+endmodule
+`
+
+func TestEveryMutatorHasDistinctName(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range All() {
+		if seen[m.Name] {
+			t.Errorf("duplicate mutator name %s", m.Name)
+		}
+		seen[m.Name] = true
+		if m.Difficulty <= 0 || m.Difficulty >= 1 {
+			t.Errorf("%s: difficulty %.2f out of (0,1)", m.Name, m.Difficulty)
+		}
+		if m.Category == diag.CatNone {
+			t.Errorf("%s: no category", m.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("drop-semicolon"); !ok {
+		t.Fatal("drop-semicolon missing")
+	}
+	if _, ok := ByName("no-such"); ok {
+		t.Fatal("unknown mutator resolved")
+	}
+}
+
+// TestMutatorsBreakCompilation is the injector's core contract: applying a
+// mutator to compiling code must produce non-compiling code (checked on
+// the rich fixture for every applicable mutator).
+func TestMutatorsBreakCompilation(t *testing.T) {
+	if _, design, diags := compiler.Frontend(richFixture); design == nil {
+		t.Fatalf("fixture broken: %s", diags.Summary())
+	}
+	rng := rand.New(rand.NewSource(42))
+	applicable := 0
+	for _, m := range All() {
+		out, mut, ok := Inject(richFixture, m, rng)
+		if !ok {
+			continue
+		}
+		applicable++
+		if out == richFixture {
+			t.Errorf("%s: claimed applied but output unchanged", m.Name)
+			continue
+		}
+		if mut.Line <= 0 {
+			t.Errorf("%s: mutation has no line", m.Name)
+		}
+		_, design, _ := compiler.Frontend(out)
+		// misplaced-timescale is special: the rule-based fixer repairs it
+		// pre-compile, but the raw injection must still fail the frontend.
+		if design != nil {
+			t.Errorf("%s: mutated code still compiles:\n%s", m.Name, out)
+		}
+	}
+	if applicable < 12 {
+		t.Errorf("only %d mutators applicable to the rich fixture", applicable)
+	}
+}
+
+// TestMutationCategoryMatchesDiagnostic checks that the compiler reports
+// the category each mutator promises (on the first error), for the
+// mutators with precise category contracts.
+func TestMutationCategoryMatchesDiagnostic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Categories where recovery or masking can legitimately shift the
+	// first reported error are exempted.
+	exempt := map[string]bool{
+		"drop-end": true, "c-style-braces": true, "drop-sensitivity": true,
+		"keyword-as-ident": true,
+	}
+	for _, m := range All() {
+		if exempt[m.Name] {
+			continue
+		}
+		out, mut, ok := Inject(richFixture, m, rng)
+		if !ok {
+			continue
+		}
+		_, _, diags := compiler.Frontend(out)
+		found := false
+		for _, d := range diags.Errors() {
+			if d.Category == mut.Category {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: expected category %s in diagnostics, got %s\ncode:\n%s",
+				m.Name, mut.Category, diags.Summary(), out)
+		}
+	}
+}
+
+// TestInjectRandomAppliesRequestedCount verifies multi-error injection.
+func TestInjectRandomAppliesRequestedCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	counts := map[int]int{}
+	for i := 0; i < 50; i++ {
+		_, muts := InjectRandom(richFixture, 2, rng)
+		counts[len(muts)]++
+	}
+	if counts[2] == 0 {
+		t.Error("two-error injection never succeeded")
+	}
+	if counts[0] > 0 {
+		t.Error("injection failed entirely on the rich fixture")
+	}
+}
+
+// TestMutatorsOverDatasetCorpus is the integration property test: across
+// the benchmark corpus, injection must (a) usually apply, and (b) always
+// break compilation when it claims to have applied.
+func TestMutatorsOverDatasetCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	applied, broke := 0, 0
+	for _, p := range dataset.Problems(dataset.SuiteHuman) {
+		out, muts := InjectRandom(p.RefSource, 1, rng)
+		if len(muts) == 0 {
+			continue
+		}
+		applied++
+		if _, design, _ := compiler.Frontend(out); design == nil {
+			broke++
+		}
+	}
+	if applied < 140 {
+		t.Errorf("injection applied to only %d/156 problems", applied)
+	}
+	if float64(broke)/float64(applied) < 0.95 {
+		t.Errorf("only %d/%d injections broke compilation", broke, applied)
+	}
+}
+
+func TestInjectInapplicableReturnsFalse(t *testing.T) {
+	tiny := "module m; endmodule"
+	m, _ := ByName("c-style-increment")
+	if _, _, ok := Inject(tiny, m, rand.New(rand.NewSource(1))); ok {
+		t.Fatal("c-style-increment cannot apply to an empty module")
+	}
+}
+
+func TestDropClockPortReproducesPaperCase(t *testing.T) {
+	src := `module top_module (
+	input clk,
+	input [99:0] in,
+	output reg [99:0] out
+);
+	always @(posedge clk) begin
+		for (int i = 0; i < 100; i = i + 1)
+			out[i] <= in[99 - i];
+	end
+endmodule
+`
+	m, _ := ByName("drop-clock-port")
+	out, mut, ok := Inject(src, m, rand.New(rand.NewSource(1)))
+	if !ok {
+		t.Fatal("drop-clock-port did not apply")
+	}
+	if mut.Category != diag.CatUndeclaredIdent {
+		t.Fatalf("category = %s", mut.Category)
+	}
+	_, _, diags := compiler.Frontend(out)
+	first, okf := diags.First()
+	if !okf || first.Symbol != "clk" {
+		t.Fatalf("expected undeclared clk, got %s", diags.Summary())
+	}
+}

@@ -1,0 +1,533 @@
+package rag
+
+import "repro/internal/diag"
+
+// QuartusDB returns the curated human-guidance database for the Quartus
+// persona: 11 error categories, 45 entries, matching the counts the paper
+// reports ("11 common error categories with 45 entries for Quartus").
+// Patterns are the stable error-number tags the exact-match retriever keys
+// on, plus characteristic message stems.
+func QuartusDB() *Database {
+	return NewDatabase(quartusEntries)
+}
+
+// IVerilogDB returns the curated database for the iverilog persona: 7
+// error categories, 30 entries ("7 common error categories with 30
+// entries for iverilog").
+func IVerilogDB() *Database {
+	return NewDatabase(iverilogEntries)
+}
+
+// ForCompiler returns the curated database matching a persona name, or an
+// empty database for personas without one (Simple gives no log to match).
+func ForCompiler(name string) *Database {
+	switch name {
+	case "Quartus", "quartus":
+		return QuartusDB()
+	case "iverilog", "IVerilog":
+		return IVerilogDB()
+	}
+	return NewDatabase(nil)
+}
+
+var quartusEntries = []Entry{
+	// --- undeclared object (10161): 5 entries ---
+	{
+		ID: "q-undecl-1", Category: diag.CatUndeclaredIdent, Compiler: "quartus",
+		Patterns:   []string{"Error (10161)", "is not declared"},
+		LogExample: `Error (10161): Verilog HDL error at top.sv(5): object "clk" is not declared. Verify the object name is correct. If the name is correct, declare the object.`,
+		Guidance:   "Check if 'clk' is an input. If not, and if 'clk' is used within the module, make sure the name is correct. If it's meant to trigger an 'always' block, replace 'posedge clk' with '*'.",
+		Demonstration: "// before: always @(posedge clk) begin ... end   (no clk port)\n" +
+			"// after:  always @(*) begin ... end",
+	},
+	{
+		ID: "q-undecl-2", Category: diag.CatUndeclaredIdent, Compiler: "quartus",
+		Patterns:   []string{"Error (10161)"},
+		LogExample: `Error (10161): Verilog HDL error at top.sv(9): object "result_r" is not declared.`,
+		Guidance:   "Compare the undeclared name against the declared signals; it is usually a misspelling of an existing wire, reg, or port. Rename the use to the declared signal rather than declaring a new one.",
+	},
+	{
+		ID: "q-undecl-3", Category: diag.CatUndeclaredIdent, Compiler: "quartus",
+		Patterns:   []string{"Error (10161)"},
+		LogExample: `Error (10161): Verilog HDL error at top.sv(3): object "reset" is not declared.`,
+		Guidance:   "If the undeclared object is a control signal (reset, enable), the port list is probably missing it. Add it to the module header as an input rather than declaring a floating wire.",
+	},
+	{
+		ID: "q-undecl-4", Category: diag.CatUndeclaredIdent, Compiler: "quartus",
+		Patterns:   []string{"Error (10161)"},
+		LogExample: `Error (10161): Verilog HDL error at top.sv(12): object "i" is not declared.`,
+		Guidance:   "Loop indices must be declared. Either declare 'integer i;' before the always block, or declare the index inline with 'for (int i = 0; ...)'.",
+	},
+	{
+		ID: "q-undecl-5", Category: diag.CatUndeclaredIdent, Compiler: "quartus",
+		Patterns:   []string{"Error (10161)"},
+		LogExample: `Error (10161): Verilog HDL error at top.sv(7): object "tmp" is not declared.`,
+		Guidance:   "Intermediate signals used on the left of 'assign' or inside always blocks need a declaration: 'wire' for assign targets, 'reg' for always-block targets, sized to the data they carry.",
+	},
+
+	// --- index out of range (10232): 5 entries ---
+	{
+		ID: "q-index-1", Category: diag.CatIndexOutOfRange, Compiler: "quartus",
+		Patterns:   []string{"Error (10232)", "cannot fall outside the declared range"},
+		LogExample: `Error (10232): Verilog HDL error at top.sv(5): index 8 cannot fall outside the declared range [7:0] for vector "out"`,
+		Guidance:   "Carefully examine the index values to prevent encountering 'index out of bound' errors in your code. When utilizing parameters for indexing, try to use binary strings for performing the indexing operation instead.",
+	},
+	{
+		ID: "q-index-2", Category: diag.CatIndexOutOfRange, Compiler: "quartus",
+		Patterns:   []string{"Error (10232)"},
+		LogExample: `Error (10232): Verilog HDL error at top.sv(9): index -17 cannot fall outside the declared range [255:0] for vector "q"`,
+		Guidance:   "A negative index means the index arithmetic underflows at a loop boundary. Recompute the expression at the smallest loop values; guard the boundary cases or wrap the arithmetic with a modulo of the vector size.",
+		Demonstration: "// before: q[(i-1)*16 + (j-1)]    // i==0, j==0 -> -17\n" +
+			"// after:  q[((i+15)%16)*16 + ((j+15)%16)]",
+	},
+	{
+		ID: "q-index-3", Category: diag.CatIndexOutOfRange, Compiler: "quartus",
+		Patterns:   []string{"Error (10232)"},
+		LogExample: `Error (10232): Verilog HDL error at top.sv(4): part-select [8:1] is outside the declared range [7:0] for vector "in"`,
+		Guidance:   "Part-select bounds must both lie inside the declared range. Shift the select window back inside the declaration, or widen the declaration if the extra bit is intended.",
+	},
+	{
+		ID: "q-index-4", Category: diag.CatIndexOutOfRange, Compiler: "quartus",
+		Patterns:   []string{"Error (10232)"},
+		LogExample: `Error (10232): Verilog HDL error at top.sv(6): index 16 cannot fall outside the declared range [15:0] for vector "data"`,
+		Guidance:   "Remember Verilog ranges are inclusive: a vector declared [N-1:0] has valid indices 0 through N-1. An index equal to the width is always one past the end.",
+	},
+	{
+		ID: "q-index-5", Category: diag.CatIndexOutOfRange, Compiler: "quartus",
+		Patterns:   []string{"Error (10232)", "reversed with respect to the declaration"},
+		LogExample: `Error (10232): Verilog HDL error at top.sv(4): part-select [0:3] is reversed with respect to the declaration [7:0] of "in"`,
+		Guidance:   "Match the part-select direction to the declaration: a descending vector [7:0] takes selects written [high:low]. Swap the bounds instead of re-declaring the vector.",
+	},
+
+	// --- invalid l-value (10137): 4 entries ---
+	{
+		ID: "q-lvalue-1", Category: diag.CatInvalidLValue, Compiler: "quartus",
+		Patterns:   []string{"Error (10137)", "is not a valid l-value"},
+		LogExample: `Error (10137): Verilog HDL error at top.sv(15): "out" is not a valid l-value; procedural assignments require a variable (reg), not a net`,
+		Guidance:   "Use assign statements instead of always block if possible. Otherwise change the declaration of the assigned signal from wire to reg (declare the output as 'output reg').",
+		Demonstration: "// before: output out;        always @(*) out = a & b;\n" +
+			"// after:  output reg out;    always @(*) out = a & b;",
+	},
+	{
+		ID: "q-lvalue-2", Category: diag.CatInvalidLValue, Compiler: "quartus",
+		Patterns:   []string{"Error (10137)"},
+		LogExample: `Error (10137): Verilog HDL error at top.sv(8): input port "a" cannot be assigned inside the module`,
+		Guidance:   "Input ports are read-only inside the module. If the assignment is intentional, the port direction is wrong — change it to output; otherwise assign to an internal signal instead.",
+	},
+	{
+		ID: "q-lvalue-3", Category: diag.CatInvalidLValue, Compiler: "quartus",
+		Patterns:   []string{"Error (10137)"},
+		LogExample: `Error (10137): Verilog HDL error at top.sv(11): "next_state" is not a valid l-value`,
+		Guidance:   "Every signal written inside an always block must be declared as reg (or logic). Audit each assignment target in the block, not just the one in the error message — fixing one often reveals the next.",
+	},
+	{
+		ID: "q-lvalue-4", Category: diag.CatInvalidLValue, Compiler: "quartus",
+		Patterns:   []string{"Error (10137)", "parameter"},
+		LogExample: `Error (10137): Verilog HDL error at top.sv(6): parameter "WIDTH" cannot be an assignment target`,
+		Guidance:   "Parameters are compile-time constants. To compute a runtime value, declare a wire or reg with the same width and assign to that instead.",
+	},
+
+	// --- continuous assign to reg (10219): 4 entries ---
+	{
+		ID: "q-areg-1", Category: diag.CatAssignToReg, Compiler: "quartus",
+		Patterns:   []string{"Error (10219)", "continuous assignment to variable"},
+		LogExample: `Error (10219): Verilog HDL error at top.sv(7): continuous assignment to variable "out"; 'assign' targets must be nets`,
+		Guidance:   "An 'assign' statement drives nets, not regs. Either drop the 'reg' from the declaration, or move the assignment into an 'always @(*)' block.",
+		Demonstration: "// before: output reg y;  assign y = a ^ b;\n" +
+			"// after:  output y;      assign y = a ^ b;",
+	},
+	{
+		ID: "q-areg-2", Category: diag.CatAssignToReg, Compiler: "quartus",
+		Patterns:   []string{"Error (10219)"},
+		LogExample: `Error (10219): Verilog HDL error at top.sv(9): continuous assignment to variable "state"`,
+		Guidance:   "If the signal is also written by an always block, keep it a reg and delete the conflicting assign statement — a signal must have exactly one driving style.",
+	},
+	{
+		ID: "q-areg-3", Category: diag.CatAssignToReg, Compiler: "quartus",
+		Patterns:   []string{"Error (10219)"},
+		LogExample: `Error (10219): Verilog HDL error at top.sv(4): continuous assignment to variable "sum"`,
+		Guidance:   "Decide the driving style first: combinational results via 'assign' need wire declarations; registered results via always blocks need reg declarations. Make the declaration match the driver.",
+	},
+	{
+		ID: "q-areg-4", Category: diag.CatAssignToReg, Compiler: "quartus",
+		Patterns:   []string{"Error (10219)"},
+		LogExample: `Error (10219): Verilog HDL error at top.sv(10): continuous assignment to variable "q"`,
+		Guidance:   "When converting an always block to assign statements, remember to also change the target declarations from reg back to wire.",
+	},
+
+	// --- generic syntax (10170): 5 entries ---
+	{
+		ID: "q-syntax-1", Category: diag.CatMissingSemicolon, Compiler: "quartus",
+		Patterns:   []string{"Error (10170)", "expected ';'"},
+		LogExample: `Error (10170): Verilog HDL error at top.sv(6): expected ';' but found 'end'`,
+		Guidance:   "The statement on the previous line is missing its terminating semicolon. Add ';' at the end of the statement before the token named in the error.",
+	},
+	{
+		ID: "q-syntax-2", Category: diag.CatMissingSemicolon, Compiler: "quartus",
+		Patterns:   []string{"Error (10170)"},
+		LogExample: `Error (10170): Verilog HDL error at top.sv(3): expected ';' but found 'assign'`,
+		Guidance:   "When the parser reports an unexpected keyword at the start of a new construct, the error is almost always at the end of the previous line — usually a missing semicolon or bracket.",
+	},
+	{
+		ID: "q-syntax-3", Category: diag.CatUnexpectedToken, Compiler: "quartus",
+		Patterns:   []string{"Error (10170)", "unexpected"},
+		LogExample: `Error (10170): Verilog HDL error at top.sv(8): expected an expression but found ')'`,
+		Guidance:   "An operator is missing its operand. Check for doubled operators, trailing commas in port lists, and empty parentheses.",
+	},
+	{
+		ID: "q-syntax-4", Category: diag.CatUnexpectedToken, Compiler: "quartus",
+		Patterns:   []string{"Error (10170)"},
+		LogExample: `Error (10170): Verilog HDL error at top.sv(2): expected 'module'`,
+		Guidance:   "Code outside a module is illegal. Make sure the file starts with a module header and that every statement lies between 'module ...;' and 'endmodule'.",
+	},
+	{
+		ID: "q-syntax-5", Category: diag.CatMalformedLiteral, Compiler: "quartus",
+		Patterns:   []string{"Error (10120)", "invalid for base"},
+		LogExample: `Error (10120): Verilog HDL error at top.sv(5): digit 'g' is invalid for base 'h'`,
+		Guidance:   "Sized literals must use digits legal for their base: 'b takes 0/1, 'o takes 0-7, 'd takes decimal, 'h takes 0-9a-f. Fix the digit or switch the base prefix.",
+	},
+
+	// --- begin/end structure (10171): 4 entries ---
+	{
+		ID: "q-beginend-1", Category: diag.CatUnmatchedBeginEnd, Compiler: "quartus",
+		Patterns:   []string{"Error (10171)", "still open"},
+		LogExample: `Error (10171): Verilog HDL error at top.sv(14): 'endmodule' reached while a 'begin' (line 6) is still open; missing 'end'`,
+		Guidance:   "Count begin/end pairs from the line the error names. Every 'begin' needs a matching 'end'; nested if/else and for bodies are the usual culprits. Indent consistently and add the missing 'end' at the right nesting depth.",
+	},
+	{
+		ID: "q-beginend-2", Category: diag.CatUnmatchedBeginEnd, Compiler: "quartus",
+		Patterns:   []string{"Error (10171)"},
+		LogExample: `Error (10171): Verilog HDL error at top.sv(12): 'end' without a matching 'begin'`,
+		Guidance:   "A surplus 'end' usually means an earlier 'begin' was deleted during editing. Either restore the begin or delete this end; verify case statements close with 'endcase', not 'end'.",
+	},
+	{
+		ID: "q-beginend-3", Category: diag.CatMissingEndmodule, Compiler: "quartus",
+		Patterns:   []string{"Error (10171)", "missing 'endmodule'"},
+		LogExample: `Error (10171): Verilog HDL error at top.sv(20): reached end of file while inside module 'top'; missing 'endmodule'`,
+		Guidance:   "Append 'endmodule' at the end of the module body. If an 'endmodule' exists but the error persists, an unclosed begin/end block before it is swallowing it.",
+	},
+	{
+		ID: "q-beginend-4", Category: diag.CatUnmatchedBeginEnd, Compiler: "quartus",
+		Patterns:   []string{"Error (10171)", "endcase"},
+		LogExample: `Error (10171): Verilog HDL error at top.sv(18): 'case' at line 9 has no matching 'endcase'`,
+		Guidance:   "Close every case/casez/casex with 'endcase'. When a case arm needs multiple statements, wrap them in begin/end inside the arm.",
+	},
+
+	// --- C-style syntax (10663): 4 entries ---
+	{
+		ID: "q-cstyle-1", Category: diag.CatCStyleSyntax, Compiler: "quartus",
+		Patterns:   []string{"Error (10663)", "not a Verilog operator"},
+		LogExample: `Error (10663): Verilog HDL error at top.sv(7): '++' is not a Verilog operator; use 'i = i + 1' style increments`,
+		Guidance:   "Verilog-2001 has no ++/--/+= operators. Expand compound assignments: 'i++' becomes 'i = i + 1', 'x += y' becomes 'x = x + y'.",
+		Demonstration: "// before: for (i = 0; i < 8; i++)\n" +
+			"// after:  for (i = 0; i < 8; i = i + 1)",
+	},
+	{
+		ID: "q-cstyle-2", Category: diag.CatCStyleSyntax, Compiler: "quartus",
+		Patterns:   []string{"Error (10663)", "cannot start a statement"},
+		LogExample: `Error (10663): Verilog HDL error at top.sv(9): '{' cannot start a statement; Verilog uses 'begin'/'end' for blocks, not braces`,
+		Guidance:   "Braces delimit concatenations in Verilog, not blocks. Replace '{' with 'begin' and '}' with 'end' around statement groups.",
+	},
+	{
+		ID: "q-cstyle-3", Category: diag.CatCStyleSyntax, Compiler: "quartus",
+		Patterns:   []string{"Error (10663)"},
+		LogExample: `Error (10663): Verilog HDL error at top.sv(11): '+=' is not a Verilog operator`,
+		Guidance:   "This construct is C, not Verilog. Rewrite it with explicit Verilog syntax, keeping the same semantics; check the rest of the file for sibling C idioms, they travel in groups.",
+	},
+	{
+		ID: "q-cstyle-4", Category: diag.CatCStyleSyntax, Compiler: "quartus",
+		Patterns:   []string{"Error (10663)"},
+		LogExample: `Error (10663): Verilog HDL error at top.sv(4): '--' is not a Verilog operator`,
+		Guidance:   "Decrement with explicit subtraction: 'i = i - 1'. In non-blocking contexts use 'i <= i - 1'.",
+	},
+
+	// --- misplaced directive (10190): 3 entries ---
+	{
+		ID: "q-directive-1", Category: diag.CatMisplacedDirective, Compiler: "quartus",
+		Patterns:   []string{"Error (10190)", "not allowed inside a module"},
+		LogExample: "Error (10190): Verilog HDL error at top.sv(5): compiler directive `timescale is not allowed inside a module body",
+		Guidance:   "Compiler directives such as `timescale belong at the top of the file, before the module header. Move the directive above 'module' or delete it — synthesis ignores timescale anyway.",
+	},
+	{
+		ID: "q-directive-2", Category: diag.CatMisplacedDirective, Compiler: "quartus",
+		Patterns:   []string{"Error (10190)"},
+		LogExample: "Error (10190): Verilog HDL error at top.sv(8): compiler directive `define is not allowed inside an always block",
+		Guidance:   "Macros must be defined at file scope. For values computed per-module, use 'localparam' instead of `define.",
+	},
+	{
+		ID: "q-directive-3", Category: diag.CatMisplacedDirective, Compiler: "quartus",
+		Patterns:   []string{"Error (10190)"},
+		LogExample: "Error (10190): Verilog HDL error at top.sv(2): compiler directive `include is not allowed inside a module body",
+		Guidance:   "Move the directive to the first lines of the file. If the directive was pasted in by mistake, remove it entirely.",
+	},
+
+	// --- duplicate declaration (10028): 4 entries ---
+	{
+		ID: "q-dup-1", Category: diag.CatDuplicateDecl, Compiler: "quartus",
+		Patterns:   []string{"Error (10028)", "already declared"},
+		LogExample: `Error (10028): Verilog HDL error at top.sv(8): 'tmp' is already declared at line 7`,
+		Guidance:   "Remove or rename one of the declarations. If the two declarations differ in width, keep the one the uses require.",
+	},
+	{
+		ID: "q-dup-2", Category: diag.CatDuplicateDecl, Compiler: "quartus",
+		Patterns:   []string{"Error (10028)"},
+		LogExample: `Error (10028): Verilog HDL error at top.sv(4): 'out' is already declared at line 2`,
+		Guidance:   "ANSI port headers already declare the signal: 'output reg [7:0] out' in the header makes a later 'reg [7:0] out;' in the body redundant — delete the body declaration.",
+	},
+	{
+		ID: "q-dup-3", Category: diag.CatDuplicateDecl, Compiler: "quartus",
+		Patterns:   []string{"Error (10028)"},
+		LogExample: `Error (10028): Verilog HDL error at top.sv(12): parameter 'N' is already declared`,
+		Guidance:   "A parameter defined in the #(...) header cannot be redefined in the body. Keep the header definition and delete the body one.",
+	},
+	{
+		ID: "q-dup-4", Category: diag.CatDuplicateDecl, Compiler: "quartus",
+		Patterns:   []string{"Error (10028)"},
+		LogExample: `Error (10028): Verilog HDL error at top.sv(9): 'i' is already declared at line 3`,
+		Guidance:   "Declare each loop index once per scope. Two always blocks can share a module-level 'integer i;', or each can declare its own inside its begin/end block.",
+	},
+
+	// --- port mismatch (10112): 4 entries ---
+	{
+		ID: "q-port-1", Category: diag.CatPortMismatch, Compiler: "quartus",
+		Patterns:   []string{"Error (10112)", "port list"},
+		LogExample: `Error (10112): Verilog HDL error at top.sv(3): port 'y' appears in the port list but has no direction declaration`,
+		Guidance:   "Every name in a non-ANSI port list needs a direction declaration in the body: add 'input y;' or 'output y;' as intended.",
+	},
+	{
+		ID: "q-port-2", Category: diag.CatPortMismatch, Compiler: "quartus",
+		Patterns:   []string{"Error (10112)"},
+		LogExample: `Error (10112): Verilog HDL error at top.sv(5): 'en' is declared as a port but does not appear in the module port list`,
+		Guidance:   "Add the signal to the module's port list, or demote the declaration to an internal wire/reg if it is not meant to be a port.",
+	},
+	{
+		ID: "q-port-3", Category: diag.CatPortMismatch, Compiler: "quartus",
+		Patterns:   []string{"Error (10112)"},
+		LogExample: `Error (10112): Verilog HDL error at top.sv(2): declaration of 'data' as [15:0] conflicts with port range [7:0]`,
+		Guidance:   "Make the port and net declarations use the same range. Pick the width the module logic actually needs and update both places.",
+	},
+	{
+		ID: "q-port-4", Category: diag.CatPortMismatch, Compiler: "quartus",
+		Patterns:   []string{"Error (10112)"},
+		LogExample: `Error (10112): Verilog HDL error at top.sv(1): expected ')' in port list`,
+		Guidance:   "Check the port list punctuation: ports separate with commas, the list closes with ');', and there is no comma after the final port.",
+	},
+
+	// --- non-constant expression (10110): 3 entries ---
+	{
+		ID: "q-const-1", Category: diag.CatNonConstantExpr, Compiler: "quartus",
+		Patterns:   []string{"Error (10110)", "must be constant"},
+		LogExample: `Error (10110): Verilog HDL error at top.sv(4): vector range bounds must be constant`,
+		Guidance:   "Range bounds may only use literals, parameters, and localparams. Replace the runtime signal in the range with a parameter, or restructure to use an indexed part-select.",
+	},
+	{
+		ID: "q-const-2", Category: diag.CatNonConstantExpr, Compiler: "quartus",
+		Patterns:   []string{"Error (10110)", "part-select"},
+		LogExample: `Error (10110): Verilog HDL error at top.sv(7): part-select bounds of "data" must be constant`,
+		Guidance:   "Variable part-selects need the indexed form: 'data[base +: WIDTH]' where WIDTH is constant and base may vary.",
+		Demonstration: "// before: data[i*8+7 : i*8]\n" +
+			"// after:  data[i*8 +: 8]",
+	},
+	{
+		ID: "q-const-3", Category: diag.CatNonConstantExpr, Compiler: "quartus",
+		Patterns:   []string{"Error (10110)", "replication"},
+		LogExample: `Error (10110): Verilog HDL error at top.sv(6): replication count must be constant`,
+		Guidance:   "Replication counts {N{...}} must be elaboration-time constants. Use a parameter for N, or rewrite the expression with shifts and masks.",
+	},
+}
+
+var iverilogEntries = []Entry{
+	// --- unable to bind (undeclared): 5 entries ---
+	{
+		ID: "iv-undecl-1", Category: diag.CatUndeclaredIdent, Compiler: "iverilog",
+		Patterns:   []string{"Unable to bind wire/reg/memory"},
+		LogExample: "top.sv:5: error: Unable to bind wire/reg/memory `clk' in `top_module'",
+		Guidance:   "The named signal has no declaration. If it appears in an event control like 'posedge clk' and the module has no clock port, either add 'input clk' to the port list or make the block combinational with 'always @(*)'.",
+	},
+	{
+		ID: "iv-undecl-2", Category: diag.CatUndeclaredIdent, Compiler: "iverilog",
+		Patterns:   []string{"Unable to bind"},
+		LogExample: "top.sv:9: error: Unable to bind wire/reg/memory `result_r' in `top_module'",
+		Guidance:   "Check spelling against declared names; iverilog reports the exact identifier it could not resolve inside the backquotes.",
+	},
+	{
+		ID: "iv-undecl-3", Category: diag.CatUndeclaredIdent, Compiler: "iverilog",
+		Patterns:   []string{"Failed to evaluate event expression"},
+		LogExample: "top.sv:5: error: Failed to evaluate event expression 'posedge clk'.",
+		Guidance:   "This secondary error follows an unresolved signal in the sensitivity list; fix the binding error above it and this one disappears.",
+	},
+	{
+		ID: "iv-undecl-4", Category: diag.CatUndeclaredIdent, Compiler: "iverilog",
+		Patterns:   []string{"Unable to bind"},
+		LogExample: "top.sv:12: error: Unable to bind wire/reg/memory `i' in `top_module'",
+		Guidance:   "Loop indices need an 'integer i;' declaration before the always block (or an inline 'int i' in SystemVerilog mode).",
+	},
+	{
+		ID: "iv-undecl-5", Category: diag.CatUndeclaredIdent, Compiler: "iverilog",
+		Patterns:   []string{"Unable to bind"},
+		LogExample: "top.sv:7: error: Unable to bind wire/reg/memory `tmp' in `top_module'",
+		Guidance:   "Declare intermediate nets before use: 'wire [W-1:0] tmp;' for assign targets, 'reg' for procedural ones.",
+	},
+
+	// --- not a valid l-value: 5 entries ---
+	{
+		ID: "iv-lvalue-1", Category: diag.CatInvalidLValue, Compiler: "iverilog",
+		Patterns:   []string{"is not a valid l-value"},
+		LogExample: "top.sv:15: error: out is not a valid l-value in top_module.",
+		Guidance:   "Use assign statements instead of always block if possible. Otherwise declare the target as 'reg' — typically by changing 'output out' to 'output reg out'.",
+	},
+	{
+		ID: "iv-lvalue-2", Category: diag.CatInvalidLValue, Compiler: "iverilog",
+		Patterns:   []string{"is not a valid l-value"},
+		LogExample: "top.sv:8: error: a is not a valid l-value in top_module.",
+		Guidance:   "If the reported signal is an input port, the assignment direction is backwards — swap the sides or fix the port direction.",
+	},
+	{
+		ID: "iv-lvalue-3", Category: diag.CatInvalidLValue, Compiler: "iverilog",
+		Patterns:   []string{"is not a valid l-value"},
+		LogExample: "top.sv:11: error: next_state is not a valid l-value in top_module.",
+		Guidance:   "Audit every assignment target in the always block and declare each as reg; the compiler reports them one at a time.",
+	},
+	{
+		ID: "iv-lvalue-4", Category: diag.CatAssignToReg, Compiler: "iverilog",
+		Patterns:   []string{"cannot be driven by primitives or continuous assignment"},
+		LogExample: "top.sv:7: error: reg out; cannot be driven by primitives or continuous assignment.",
+		Guidance:   "An assign statement cannot drive a reg. Remove 'reg' from the declaration or convert the assign into an always block.",
+	},
+	{
+		ID: "iv-lvalue-5", Category: diag.CatAssignToReg, Compiler: "iverilog",
+		Patterns:   []string{"cannot be driven"},
+		LogExample: "top.sv:9: error: reg q; cannot be driven by primitives or continuous assignment.",
+		Guidance:   "Pick one driving style per signal: 'assign' with wire, or always block with reg. Mixing both on the same signal is never legal.",
+	},
+
+	// --- index out of range: 4 entries ---
+	{
+		ID: "iv-index-1", Category: diag.CatIndexOutOfRange, Compiler: "iverilog",
+		Patterns:   []string{"is out of range"},
+		LogExample: "top.sv:5: error: Index out[8] is out of range.",
+		Guidance:   "Indices on [N-1:0] vectors run 0..N-1. Re-derive the index bound from the declaration, not from the element count.",
+	},
+	{
+		ID: "iv-index-2", Category: diag.CatIndexOutOfRange, Compiler: "iverilog",
+		Patterns:   []string{"is out of range"},
+		LogExample: "top.sv:9: error: Index q[-17] is out of range.",
+		Guidance:   "Negative indices come from loop-boundary arithmetic. Evaluate the index expression at the first and last loop iterations and add wrapping or clamping.",
+	},
+	{
+		ID: "iv-index-3", Category: diag.CatIndexOutOfRange, Compiler: "iverilog",
+		Patterns:   []string{"is out of range"},
+		LogExample: "top.sv:4: error: Part select in[8:1] is out of range.",
+		Guidance:   "Both bounds of a part-select must be inside the declared range; slide the window or resize the vector.",
+	},
+	{
+		ID: "iv-index-4", Category: diag.CatIndexOutOfRange, Compiler: "iverilog",
+		Patterns:   []string{"is out of range"},
+		LogExample: "top.sv:6: error: Index data[16] is out of range.",
+		Guidance:   "When a parameter defines the width, index with 'param-1' for the top element; indexing with the parameter itself is one past the end.",
+	},
+
+	// --- generic syntax error: 5 entries ---
+	{
+		ID: "iv-syntax-1", Category: diag.CatMissingSemicolon, Compiler: "iverilog",
+		Patterns:   []string{"syntax error"},
+		LogExample: "top.sv:6: syntax error",
+		Guidance:   "iverilog reports bare 'syntax error' with only a line number. Check that line and the one before it for a missing semicolon, unbalanced parentheses, or a stray character.",
+	},
+	{
+		ID: "iv-syntax-2", Category: diag.CatUnexpectedToken, Compiler: "iverilog",
+		Patterns:   []string{"syntax error", "Malformed statement"},
+		LogExample: "top.sv:8: syntax error\ntop.sv:8: error: Malformed statement",
+		Guidance:   "'Malformed statement' follows the syntax error with the same line: the statement shape itself is wrong. Compare against a known-good statement of the same kind and rebuild it.",
+	},
+	{
+		ID: "iv-syntax-3", Category: diag.CatCStyleSyntax, Compiler: "iverilog",
+		Patterns:   []string{"syntax error"},
+		LogExample: "top.sv:7: syntax error",
+		Guidance:   "If the flagged line uses ++, --, +=, or braces as blocks, those are C idioms: expand increments to 'i = i + 1' and replace braces with begin/end.",
+	},
+	{
+		ID: "iv-syntax-4", Category: diag.CatMalformedLiteral, Compiler: "iverilog",
+		Patterns:   []string{"Malformed statement", "syntax error"},
+		LogExample: "top.sv:5: error: Malformed statement",
+		Guidance:   "Check numeric literals on the flagged line: every digit must be legal for the base ('b: 0-1, 'h: 0-9a-f) and the size prefix must be a plain decimal.",
+	},
+	{
+		ID: "iv-syntax-5", Category: diag.CatSensitivityList, Compiler: "iverilog",
+		Patterns:   []string{"Error in event expression"},
+		LogExample: "top.sv:5: error: Error in event expression.",
+		Guidance:   "The always block's @(...) list is malformed. For combinational logic write 'always @(*)'; for clocked logic 'always @(posedge clk)'. An 'always' with no '@' at all is also illegal in synthesizable code.",
+	},
+
+	// --- statement block errors: 4 entries ---
+	{
+		ID: "iv-block-1", Category: diag.CatUnmatchedBeginEnd, Compiler: "iverilog",
+		Patterns:   []string{"Errors in statement block"},
+		LogExample: "top.sv:14: syntax error\ntop.sv:14: error: Errors in statement block.",
+		Guidance:   "Count begin/end pairs inside the always block; the error line is where the imbalance became fatal, the missing 'end' is usually several lines earlier at the deepest nesting level.",
+	},
+	{
+		ID: "iv-block-2", Category: diag.CatUnmatchedBeginEnd, Compiler: "iverilog",
+		Patterns:   []string{"Errors in statement block"},
+		LogExample: "top.sv:12: error: Errors in statement block.",
+		Guidance:   "If the block uses a case statement, confirm it closes with 'endcase'; an 'end' in its place breaks the whole block.",
+	},
+	{
+		ID: "iv-block-3", Category: diag.CatMissingEndmodule, Compiler: "iverilog",
+		Patterns:   []string{"syntax error"},
+		LogExample: "top.sv:20: syntax error",
+		Guidance:   "A syntax error on the last line of the file usually means a missing 'endmodule' or an unclosed begin block swallowing it. Append the missing terminator.",
+	},
+	{
+		ID: "iv-block-4", Category: diag.CatUnmatchedBeginEnd, Compiler: "iverilog",
+		Patterns:   []string{"'end' without a matching"},
+		LogExample: "top.sv:12: error: 'end' without a matching 'begin'",
+		Guidance:   "Delete the surplus 'end' or restore the 'begin' it used to match; re-indent the block to expose the structure before deciding which.",
+	},
+
+	// --- misplaced directive: 3 entries ---
+	{
+		ID: "iv-directive-1", Category: diag.CatMisplacedDirective, Compiler: "iverilog",
+		Patterns:   []string{"macro names cannot be directive keywords"},
+		LogExample: "top.sv:5: error: macro names cannot be directive keywords",
+		Guidance:   "A backtick directive sits where code is expected. Move `timescale/`define to the top of the file, before the module header.",
+	},
+	{
+		ID: "iv-directive-2", Category: diag.CatMisplacedDirective, Compiler: "iverilog",
+		Patterns:   []string{"macro names"},
+		LogExample: "top.sv:8: error: macro names cannot be directive keywords",
+		Guidance:   "Directives inside always blocks are never legal; delete them — simulation timescale has no effect on synthesizable logic.",
+	},
+	{
+		ID: "iv-directive-3", Category: diag.CatMisplacedDirective, Compiler: "iverilog",
+		Patterns:   []string{"macro names"},
+		LogExample: "top.sv:2: error: macro names cannot be directive keywords",
+		Guidance:   "Keep exactly one `timescale at file top if the testbench needs it; duplicates inside the design must go.",
+	},
+
+	// --- give-up degradation: 4 entries ---
+	{
+		ID: "iv-giveup-1", Category: diag.CatGiveUp, Compiler: "iverilog",
+		Patterns:   []string{"I give up."},
+		LogExample: "top.sv:3: syntax error\ntop.sv:5: syntax error\nI give up.",
+		Guidance:   "The compiler hit too many cascading errors to report usefully. Fix the FIRST flagged line only, recompile, and iterate — later messages are unreliable after the first error.",
+	},
+	{
+		ID: "iv-giveup-2", Category: diag.CatGiveUp, Compiler: "iverilog",
+		Patterns:   []string{"I give up."},
+		LogExample: "I give up.",
+		Guidance:   "With no usable log, fall back to structural review: check module header punctuation, begin/end balance, and statement terminators, in that order — they cause most cascades.",
+	},
+	{
+		ID: "iv-giveup-3", Category: diag.CatGiveUp, Compiler: "iverilog",
+		Patterns:   []string{"I give up."},
+		LogExample: "top.sv:2: syntax error\nI give up.",
+		Guidance:   "An early give-up (first lines of the file) points at the module header itself: verify 'module name (ports);' is wellformed before anything else.",
+	},
+	{
+		ID: "iv-giveup-4", Category: diag.CatGiveUp, Compiler: "iverilog",
+		Patterns:   []string{"I give up."},
+		LogExample: "top.sv:9: syntax error\nI give up.",
+		Guidance:   "Try commenting out half the module body and recompiling to bisect the offending construct when the log carries no detail.",
+	},
+}

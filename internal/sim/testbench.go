@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/sema"
+)
+
+// Vector is one testbench step: the input values to drive. For clocked
+// designs a vector corresponds to one clock cycle (inputs are applied,
+// logic settles, then the clock pulses); for combinational designs it is
+// just an input assignment.
+type Vector struct {
+	Inputs map[string]bitvec.Vec
+}
+
+// Golden is a cycle-accurate reference model implemented in Go. Step is
+// called once per vector with the driven inputs and must return the
+// expected value of every output port after the cycle completes.
+type Golden interface {
+	// Reset returns the model to its power-on state.
+	Reset()
+	// Step advances one cycle (or evaluates once, for combinational
+	// models) and returns expected outputs.
+	Step(inputs map[string]bitvec.Vec) map[string]bitvec.Vec
+}
+
+// GoldenFunc adapts a stateless function to the Golden interface, for
+// combinational circuits.
+type GoldenFunc func(inputs map[string]bitvec.Vec) map[string]bitvec.Vec
+
+// Reset implements Golden.
+func (GoldenFunc) Reset() {}
+
+// Step implements Golden.
+func (f GoldenFunc) Step(inputs map[string]bitvec.Vec) map[string]bitvec.Vec { return f(inputs) }
+
+// TBResult summarizes a testbench run.
+type TBResult struct {
+	Cycles     int
+	Mismatches int
+	// FirstMismatch describes the first failing sample, for debug logs
+	// and the (future-work) simulation-feedback experiments.
+	FirstMismatch string
+}
+
+// Passed reports whether the run completed with zero mismatches.
+func (r TBResult) Passed() bool { return r.Mismatches == 0 }
+
+// RunTestbench drives vectors through the design and compares every output
+// port against the golden model. clock names the clock input for
+// sequential designs, or is empty for combinational ones. A simulator
+// runtime error (combinational loop, runaway for-loop) is returned as err
+// and counts as a failed run.
+func RunTestbench(design *sema.Design, clock string, vectors []Vector, golden Golden) (TBResult, error) {
+	s, err := New(design)
+	if err != nil {
+		return TBResult{}, err
+	}
+	golden.Reset()
+	res := TBResult{}
+
+	outputs := design.Outputs()
+	outNames := make([]string, 0, len(outputs))
+	for _, o := range outputs {
+		outNames = append(outNames, o.Name)
+	}
+	sort.Strings(outNames)
+
+	for cyc, vec := range vectors {
+		for name, v := range vec.Inputs {
+			if name == clock {
+				continue // the runner owns the clock
+			}
+			if design.Signal(name) == nil {
+				return res, fmt.Errorf("testbench drives unknown input %q", name)
+			}
+			if err := s.SetInput(name, v); err != nil {
+				return res, err
+			}
+		}
+		if err := s.Settle(); err != nil {
+			return res, err
+		}
+		if clock != "" {
+			if err := s.ClockPulse(clock); err != nil {
+				return res, err
+			}
+		}
+		want := golden.Step(vec.Inputs)
+		res.Cycles++
+		for _, name := range outNames {
+			wantV, ok := want[name]
+			if !ok {
+				continue // model does not constrain this output
+			}
+			gotV := s.Get(name)
+			if !gotV.Eq(wantV) {
+				res.Mismatches++
+				if res.FirstMismatch == "" {
+					res.FirstMismatch = fmt.Sprintf(
+						"cycle %d: output %s = %s, expected %s", cyc, name, gotV.Hex(), wantV.Resize(gotV.Width()).Hex())
+				}
+			}
+		}
+	}
+	return res, nil
+}

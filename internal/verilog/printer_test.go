@@ -1,0 +1,118 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintMinimal(t *testing.T) {
+	file := mustParse(t, "module top; endmodule")
+	out := Print(file)
+	if !strings.Contains(out, "module top;") || !strings.Contains(out, "endmodule") {
+		t.Fatalf("bad print:\n%s", out)
+	}
+}
+
+func TestPrintRoundTripReparses(t *testing.T) {
+	srcs := []string{
+		`module m(input [7:0] a, input [7:0] b, output [7:0] y);
+	assign y = a ^ b;
+endmodule`,
+		`module fsm(input clk, input rst, input in, output reg out);
+	reg [1:0] state, next;
+	always @(posedge clk) begin
+		if (rst)
+			state <= 2'b00;
+		else
+			state <= next;
+	end
+	always @(*) begin
+		case (state)
+			2'b00: next = in ? 2'b01 : 2'b00;
+			2'b01, 2'b10: next = 2'b10;
+			default: next = 2'b00;
+		endcase
+		out = state == 2'b10;
+	end
+endmodule`,
+		`module rev(input [99:0] in, output reg [99:0] out);
+	always @(*) begin
+		for (int i = 0; i < 100; i = i + 1)
+			out[i] = in[99 - i];
+	end
+endmodule`,
+		`module ps(input [31:0] in, input [4:0] sel, output [7:0] y, output [7:0] z);
+	assign y = in[sel +: 8];
+	assign z = {4{in[1:0]}};
+endmodule`,
+		"`timescale 1ns/1ps\nmodule t(input a, output y);\n\tassign y = ~a;\nendmodule",
+	}
+	for _, src := range srcs {
+		file := mustParse(t, src)
+		printed := Print(file)
+		reparsed, diags := Parse(printed)
+		if diags.HasErrors() {
+			t.Fatalf("printed source does not re-parse: %s\nprinted:\n%s", diags.Summary(), printed)
+		}
+		// Second print must be a fixpoint: print(parse(print(x))) == print(x).
+		again := Print(reparsed)
+		if again != printed {
+			t.Fatalf("printer not idempotent:\nfirst:\n%s\nsecond:\n%s", printed, again)
+		}
+	}
+}
+
+func TestPrintPreservesModuleShape(t *testing.T) {
+	src := `module m #(parameter W = 8) (
+	input clk,
+	input [W-1:0] d,
+	output reg [W-1:0] q
+);
+	localparam HALF = W / 2;
+	always @(posedge clk)
+		q <= d;
+endmodule`
+	file := mustParse(t, src)
+	printed := Print(file)
+	reparsed, diags := Parse(printed)
+	if diags.HasErrors() {
+		t.Fatalf("re-parse failed: %s\n%s", diags.Summary(), printed)
+	}
+	orig, re := file.Modules[0], reparsed.Modules[0]
+	if orig.Name != re.Name {
+		t.Fatalf("module name lost")
+	}
+	if len(orig.Ports) != len(re.Ports) {
+		t.Fatalf("ports %d -> %d", len(orig.Ports), len(re.Ports))
+	}
+	for i := range orig.Ports {
+		if orig.Ports[i].Name != re.Ports[i].Name || orig.Ports[i].Dir != re.Ports[i].Dir {
+			t.Fatalf("port %d changed: %+v vs %+v", i, orig.Ports[i], re.Ports[i])
+		}
+	}
+}
+
+func TestExprStringForms(t *testing.T) {
+	cases := map[string]string{
+		"a + b * c":  "(a + (b * c))",
+		"a ? b : c":  "(a ? b : c)",
+		"{a, b}":     "{a, b}",
+		"{3{a}}":     "{3{a}}",
+		"x[7:0]":     "x[7:0]",
+		"x[i +: 8]":  "x[i +: 8]",
+		"~&x":        "~&x",
+		"$signed(a)": "$signed(a)",
+		"in[99 - i]": "in[(99 - i)]",
+	}
+	for src, want := range cases {
+		full := "module m(input a, output y); assign y = " + src + "; endmodule"
+		file, diags := Parse(full)
+		if diags.HasErrors() {
+			t.Fatalf("fixture %q: %s", src, diags.Summary())
+		}
+		as := file.Modules[0].Items[0].(*AssignItem)
+		if got := ExprString(as.RHS); got != want {
+			t.Errorf("ExprString(%q) = %q, want %q", src, got, want)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+package repro
+
+import "math/rand"
+
+// newRand is a tiny helper shared by the root benchmarks.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
