@@ -7,7 +7,9 @@ package repro
 // cmd/benchmark runs the full-size versions.
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/compiler"
@@ -110,7 +112,7 @@ func BenchmarkAblationRetrievers(b *testing.B) {
 	b.ResetTimer()
 	var last []bench.AblationResult
 	for i := 0; i < b.N; i++ {
-		last = bench.RunRetrieverAblation(2024, 1, entries)
+		last = bench.RunRetrieverAblation(2024, 1, entries, 0)
 	}
 	for _, r := range last {
 		b.ReportMetric(r.FixRate, "fixrate-"+r.Name)
@@ -123,7 +125,7 @@ func BenchmarkAblationIterationBudget(b *testing.B) {
 	b.ResetTimer()
 	var last []bench.AblationResult
 	for i := 0; i < b.N; i++ {
-		last = bench.RunIterationBudgetAblation(2024, 1, 10, entries)
+		last = bench.RunIterationBudgetAblation(2024, 1, 10, entries, 0)
 	}
 	b.ReportMetric(last[0].FixRate, "fixrate-budget1")
 	b.ReportMetric(last[len(last)-1].FixRate, "fixrate-budget10")
@@ -135,7 +137,7 @@ func BenchmarkAblationGuidanceSize(b *testing.B) {
 	b.ResetTimer()
 	var last []bench.AblationResult
 	for i := 0; i < b.N; i++ {
-		last = bench.RunGuidanceSizeAblation(2024, 1, entries)
+		last = bench.RunGuidanceSizeAblation(2024, 1, entries, 0)
 	}
 	b.ReportMetric(last[len(last)-1].FixRate-last[0].FixRate, "rag-gain-full-db")
 }
@@ -160,6 +162,64 @@ func BenchmarkCuration(b *testing.B) {
 		if len(entries) != curate.TargetSize {
 			b.Fatalf("curated %d entries", len(entries))
 		}
+	}
+}
+
+// BenchmarkPipelineSpeedup times the same Table 1 slice (ReAct + RAG +
+// Quartus, the most expensive cell) through a 1-worker and a NumCPU-worker
+// pool and reports the wall-clock ratio. The aggregates are asserted
+// identical, so the metric isolates pure scheduling gain.
+func BenchmarkPipelineSpeedup(b *testing.B) {
+	entries, _ := curate.Build(curate.Options{Seed: 2024})
+	cfg := bench.Table1Config{Seed: 2024, Repeats: 2, Entries: entries}
+	combo := func(workers int) *bench.Table1Result {
+		c := cfg
+		c.Workers = workers
+		return bench.RunTable1(c)
+	}
+	b.ResetTimer()
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		one := combo(1)
+		t1 := time.Now()
+		many := combo(runtime.NumCPU())
+		t2 := time.Now()
+		serial += t1.Sub(t0)
+		parallel += t2.Sub(t1)
+		if one.Render() != many.Render() || one.RenderFigure7() != many.RenderFigure7() {
+			b.Fatal("parallel run is not byte-identical to serial run")
+		}
+	}
+	b.ReportMetric(float64(runtime.NumCPU()), "workers")
+	b.ReportMetric(serial.Seconds()/float64(b.N), "serial-sec/op")
+	b.ReportMetric(parallel.Seconds()/float64(b.N), "parallel-sec/op")
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+}
+
+// TestPipelineTableDeterminism is the acceptance gate for the evaluation
+// pipeline: every table must render byte-identically for 1 worker and for
+// a larger pool.
+func TestPipelineTableDeterminism(t *testing.T) {
+	entries, _ := curate.Build(curate.Options{Seed: 2024})
+	slice := entries
+	if len(slice) > 8 {
+		slice = slice[:8]
+	}
+	t1a := bench.RunTable1(bench.Table1Config{Seed: 2024, Repeats: 2, Entries: slice, Workers: 1})
+	t1b := bench.RunTable1(bench.Table1Config{Seed: 2024, Repeats: 2, Entries: slice, Workers: 7})
+	if t1a.Render() != t1b.Render() || t1a.RenderFigure7() != t1b.RenderFigure7() {
+		t.Error("Table 1 output differs across worker counts")
+	}
+	t2a := bench.RunTable2(bench.Table2Config{Seed: 2024, SampleN: 3, MaxProblems: 6, Workers: 1})
+	t2b := bench.RunTable2(bench.Table2Config{Seed: 2024, SampleN: 3, MaxProblems: 6, Workers: 5})
+	if t2a.Render() != t2b.Render() || t2a.RenderFigure4() != t2b.RenderFigure4() {
+		t.Error("Table 2 output differs across worker counts")
+	}
+	t3a := bench.RunTable3(bench.Table3Config{Seed: 2024, SampleN: 4, Workers: 1})
+	t3b := bench.RunTable3(bench.Table3Config{Seed: 2024, SampleN: 4, Workers: 3})
+	if t3a.Render() != t3b.Render() {
+		t.Error("Table 3 output differs across worker counts")
 	}
 }
 

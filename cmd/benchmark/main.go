@@ -8,12 +8,17 @@
 //	benchmark -exp table1            # one experiment
 //	benchmark -exp all               # everything (the default)
 //	benchmark -exp table1 -repeats 3 # quicker, noisier
+//	benchmark -workers 8             # size the evaluation pool
+//
+// The expensive agent runs are fanned out over a worker pool
+// (internal/pipeline); output is byte-identical for any -workers value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
@@ -25,6 +30,7 @@ func main() {
 	seed := flag.Int64("seed", 2024, "random seed")
 	repeats := flag.Int("repeats", 10, "table 1 repeats per sample (paper: 10)")
 	samples := flag.Int("samples", 20, "table 2/3 samples per problem (paper: 20)")
+	workers := flag.Int("workers", runtime.NumCPU(), "evaluation pool size (output is identical for any value)")
 	flag.Parse()
 
 	run := func(name string, f func()) {
@@ -39,7 +45,7 @@ func main() {
 	var t1 *bench.Table1Result
 	table1 := func() *bench.Table1Result {
 		if t1 == nil {
-			t1 = bench.RunTable1(bench.Table1Config{Seed: *seed, Repeats: *repeats})
+			t1 = bench.RunTable1(bench.Table1Config{Seed: *seed, Repeats: *repeats, Workers: *workers})
 		}
 		return t1
 	}
@@ -47,7 +53,7 @@ func main() {
 	var t2 *bench.Table2Result
 	table2 := func() *bench.Table2Result {
 		if t2 == nil {
-			t2 = bench.RunTable2(bench.Table2Config{Seed: *seed, SampleN: *samples})
+			t2 = bench.RunTable2(bench.Table2Config{Seed: *seed, SampleN: *samples, Workers: *workers})
 		}
 		return t2
 	}
@@ -66,17 +72,17 @@ func main() {
 	run("table2", func() { fmt.Print(table2().Render()) })
 	run("figure4", func() { fmt.Print(table2().RenderFigure4()) })
 	run("table3", func() {
-		res := bench.RunTable3(bench.Table3Config{Seed: *seed, SampleN: *samples})
+		res := bench.RunTable3(bench.Table3Config{Seed: *seed, SampleN: *samples, Workers: *workers})
 		fmt.Print(res.Render())
 	})
 	run("ablation", func() {
 		entries, _ := curate.Build(curate.Options{Seed: *seed})
 		fmt.Print(bench.RenderAblation("Retriever ablation (ReAct+RAG+Quartus fix rate):",
-			bench.RunRetrieverAblation(*seed, 3, entries)))
+			bench.RunRetrieverAblation(*seed, 3, entries, *workers)))
 		fmt.Print(bench.RenderAblation("Iteration-budget ablation:",
-			bench.RunIterationBudgetAblation(*seed, 3, 10, entries)))
+			bench.RunIterationBudgetAblation(*seed, 3, 10, entries, *workers)))
 		fmt.Print(bench.RenderAblation("Guidance-size ablation (Quartus DB truncated):",
-			bench.RunGuidanceSizeAblation(*seed, 3, entries)))
+			bench.RunGuidanceSizeAblation(*seed, 3, entries, *workers)))
 	})
 	run("simfeedback", func() {
 		fmt.Print(bench.RunSimFeedback(*seed, *samples/2).Render())

@@ -7,27 +7,44 @@
 //	dataset -stats                 # suite sizes and difficulty splits
 //	dataset -curate                # build VerilogEval-syntax, print stats
 //	dataset -curate -dump DIR      # also write the .v files to DIR
+//	dataset -curate -verify        # sanity-check the curated set (parallel)
 //	dataset -show PROBLEM_ID       # print one problem's prompt + reference
+//
+// -verify recompiles every curated entry (each must still fail) and runs
+// the full RTLFixer configuration over the set through the
+// internal/pipeline worker pool (-workers), reporting the fix rate the
+// reference agent achieves on it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
+	"repro/internal/compiler"
+	"repro/internal/core"
 	"repro/internal/curate"
 	"repro/internal/dataset"
+	"repro/internal/pipeline"
 )
 
 func main() {
 	stats := flag.Bool("stats", false, "print suite statistics")
 	doCurate := flag.Bool("curate", false, "run the VerilogEval-syntax curation pipeline")
 	dump := flag.String("dump", "", "directory to write curated .v files into")
+	verify := flag.Bool("verify", false, "sanity-check the curated set with the reference agent")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel agent runs for -verify")
 	show := flag.String("show", "", "print one problem (by ID, searched across suites)")
 	seed := flag.Int64("seed", 2024, "random seed")
 	flag.Parse()
 
+	if *verify {
+		*doCurate = true // -verify needs the curated set
+	}
 	if !*stats && !*doCurate && *show == "" {
 		*stats = true
 	}
@@ -66,6 +83,40 @@ func main() {
 		fmt.Println("  error classes in the final set:")
 		for name, n := range byMutator {
 			fmt.Printf("    %-22s %d\n", name, n)
+		}
+		if *verify {
+			// Every curated entry must still fail compilation (cheap,
+			// sequential), and the reference configuration must be able
+			// to fix a healthy share of them (expensive: through the
+			// worker pool).
+			stillFailing := 0
+			for _, e := range entries {
+				if _, design, _ := compiler.Frontend(e.Code); design == nil {
+					stillFailing++
+				}
+			}
+			fmt.Printf("  verify: %d/%d entries fail compilation as curated\n", stillFailing, len(entries))
+			if stillFailing != len(entries) {
+				fmt.Fprintln(os.Stderr, "dataset: curated entries that no longer fail compilation")
+				os.Exit(1)
+			}
+
+			fixer, err := core.New(core.Options{
+				CompilerName: "quartus", RAG: true, Mode: core.ModeReAct, Seed: *seed})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dataset: %v\n", err)
+				os.Exit(1)
+			}
+			jobs := make([]pipeline.Job, len(entries))
+			for i, e := range entries {
+				jobs[i] = pipeline.Job{Group: i, Filename: "main.v", Code: e.Code, SampleSeed: e.SampleSeed}
+			}
+			start := time.Now()
+			results, _ := pipeline.Run(context.Background(), pipeline.Config{Workers: *workers}, jobs,
+				pipeline.FixWith(fixer))
+			sum := pipeline.Summarize(results)
+			fmt.Printf("  verify: reference agent (ReAct+RAG+Quartus) fixes %d/%d (rate %.3f) in %v on %d workers\n",
+				sum.Succeeded, sum.Jobs, sum.FixRate, time.Since(start).Round(time.Millisecond), *workers)
 		}
 		if *dump != "" {
 			if err := os.MkdirAll(*dump, 0o755); err != nil {

@@ -4,20 +4,28 @@
 //
 // Usage:
 //
-//	rtlfixer [flags] file.v     # fix a file
-//	rtlfixer -demo              # fix the paper's Fig. 5 example
+//	rtlfixer [flags] file.v          # fix a file
+//	rtlfixer [flags] a.v b.v c.v     # fix a batch (parallel, ordered output)
+//	rtlfixer -demo                   # fix the paper's Fig. 5 example
 //
 // Flags select the compiler persona (simple/iverilog/quartus), the LLM
 // persona (gpt-3.5/gpt-4), the prompting mode (react/one-shot), and
-// whether the retrieval database is consulted.
+// whether the retrieval database is consulted. With several input files
+// the agent runs are fanned out over -workers goroutines
+// (internal/pipeline); per-file output is printed in argument order, so
+// it is identical for any worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/pipeline"
 )
 
 // demoSource is the paper's Fig. 5 erroneous implementation (task
@@ -43,22 +51,26 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	demo := flag.Bool("demo", false, "run on the paper's Fig. 5 example")
 	quiet := flag.Bool("quiet", false, "print only the final code")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel agent runs when fixing several files")
+	timeout := flag.Duration("timeout", 0, "per-file wall-clock budget (0 = none)")
 	flag.Parse()
 
-	var source, name string
+	var sources, names []string
 	switch {
 	case *demo:
-		source, name = demoSource, "vector100r.sv"
-	case flag.NArg() == 1:
-		name = flag.Arg(0)
-		data, err := os.ReadFile(name)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtlfixer: %v\n", err)
-			os.Exit(1)
+		sources, names = []string{demoSource}, []string{"vector100r.sv"}
+	case flag.NArg() >= 1:
+		for _, name := range flag.Args() {
+			data, err := os.ReadFile(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rtlfixer: %v\n", err)
+				os.Exit(1)
+			}
+			names = append(names, name)
+			sources = append(sources, string(data))
 		}
-		source = string(data)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: rtlfixer [flags] file.v   (or rtlfixer -demo)")
+		fmt.Fprintln(os.Stderr, "usage: rtlfixer [flags] file.v ...   (or rtlfixer -demo)")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -80,14 +92,45 @@ func main() {
 		os.Exit(1)
 	}
 
-	tr := fixer.Fix(name, source, *seed)
-	if !*quiet {
-		fmt.Println(tr.Render())
-		fmt.Println("Final code:")
+	jobs := make([]pipeline.Job, len(names))
+	for i := range names {
+		// Each file gets its own sample seed so a batch behaves like n
+		// independent single-file invocations.
+		jobs[i] = pipeline.Job{Filename: names[i], Code: sources[i], SampleSeed: *seed + int64(i)}
 	}
-	fmt.Println(tr.FinalCode)
-	if !tr.Success {
-		fmt.Fprintln(os.Stderr, "rtlfixer: syntax errors remain after the iteration budget")
+	results, _ := pipeline.Run(context.Background(),
+		pipeline.Config{Workers: *workers, JobTimeout: *timeout}, jobs,
+		pipeline.FixWith(fixer))
+
+	failed := false
+	for i, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "rtlfixer: %s: %v\n", names[i], r.Err)
+			failed = true
+			continue
+		}
+		tr := r.Transcript
+		// In a batch the per-file header prints even under -quiet (else
+		// the concatenated final codes are unattributable); the timing is
+		// verbose-only so -quiet output stays byte-deterministic.
+		if len(results) > 1 {
+			if *quiet {
+				fmt.Printf("==> %s\n", names[i])
+			} else {
+				fmt.Printf("==> %s (%v)\n", names[i], r.Elapsed.Round(time.Millisecond))
+			}
+		}
+		if !*quiet {
+			fmt.Println(tr.Render())
+			fmt.Println("Final code:")
+		}
+		fmt.Println(tr.FinalCode)
+		if !tr.Success {
+			fmt.Fprintf(os.Stderr, "rtlfixer: %s: syntax errors remain after the iteration budget\n", names[i])
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/curate"
-	"repro/internal/metrics"
 	"repro/internal/rag"
 )
 
@@ -26,30 +25,15 @@ type AblationResult struct {
 }
 
 // runFixRate measures the ReAct fix rate over entries for a fully built
-// fixer configuration.
-func runFixRate(f *core.RTLFixer, entries []curate.Entry, repeats int) float64 {
-	fixed := make([]int, len(entries))
-	total := make([]int, len(entries))
-	for i, e := range entries {
-		for rep := 0; rep < repeats; rep++ {
-			tr := f.Fix("main.v", e.Code, e.SampleSeed+int64(rep)*7919)
-			total[i]++
-			if tr.Success {
-				fixed[i]++
-			}
-		}
-	}
-	rate, err := metrics.FixRate(fixed, total)
-	if err != nil {
-		panic(err)
-	}
-	return rate
+// fixer configuration, fanning the attempts out over the worker pool.
+func runFixRate(f *core.RTLFixer, entries []curate.Entry, repeats, workers int) float64 {
+	return runFixRateJobs(f, entries, repeats, workers).FixRate
 }
 
 // RunRetrieverAblation compares retrieval strategies under the full
 // configuration (ReAct + RAG + Quartus + gpt-3.5), plus the no-RAG
-// baseline.
-func RunRetrieverAblation(seed int64, repeats int, entries []curate.Entry) []AblationResult {
+// baseline. workers sizes the evaluation pool (<= 0 = runtime.NumCPU()).
+func RunRetrieverAblation(seed int64, repeats int, entries []curate.Entry, workers int) []AblationResult {
 	if entries == nil {
 		entries, _ = curate.Build(curate.Options{Seed: seed})
 	}
@@ -78,14 +62,14 @@ func RunRetrieverAblation(seed int64, repeats int, entries []curate.Entry) []Abl
 		if err != nil {
 			panic(err)
 		}
-		out = append(out, AblationResult{Name: cfg.name, FixRate: runFixRate(f, entries, repeats)})
+		out = append(out, AblationResult{Name: cfg.name, FixRate: runFixRate(f, entries, repeats, workers)})
 	}
 	return out
 }
 
 // RunIterationBudgetAblation sweeps the ReAct iteration budget 1..max,
 // locating the knee implied by Figure 7.
-func RunIterationBudgetAblation(seed int64, repeats, max int, entries []curate.Entry) []AblationResult {
+func RunIterationBudgetAblation(seed int64, repeats, max int, entries []curate.Entry, workers int) []AblationResult {
 	if entries == nil {
 		entries, _ = curate.Build(curate.Options{Seed: seed})
 	}
@@ -109,7 +93,7 @@ func RunIterationBudgetAblation(seed int64, repeats, max int, entries []curate.E
 		}
 		out = append(out, AblationResult{
 			Name:    fmt.Sprintf("budget=%d", budget),
-			FixRate: runFixRate(f, entries, repeats),
+			FixRate: runFixRate(f, entries, repeats, workers),
 		})
 	}
 	return out
@@ -136,7 +120,7 @@ func (t truncatedRetriever) Retrieve(db *rag.Database, log string, k int) []rag.
 
 // RunGuidanceSizeAblation truncates the curated Quartus database to
 // fractions of its 45 entries and measures the fix rate.
-func RunGuidanceSizeAblation(seed int64, repeats int, entries []curate.Entry) []AblationResult {
+func RunGuidanceSizeAblation(seed int64, repeats int, entries []curate.Entry, workers int) []AblationResult {
 	if entries == nil {
 		entries, _ = curate.Build(curate.Options{Seed: seed})
 	}
@@ -165,7 +149,7 @@ func RunGuidanceSizeAblation(seed int64, repeats int, entries []curate.Entry) []
 		}
 		out = append(out, AblationResult{
 			Name:    fmt.Sprintf("entries=%d", keep),
-			FixRate: runFixRate(f, entries, repeats),
+			FixRate: runFixRate(f, entries, repeats, workers),
 		})
 	}
 	return out

@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -14,7 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/curate"
 	"repro/internal/llm"
-	"repro/internal/metrics"
+	"repro/internal/pipeline"
 )
 
 // Table1Config parameterizes the fix-rate experiment.
@@ -28,6 +29,9 @@ type Table1Config struct {
 	MaxEntries int
 	// Entries overrides the curated dataset (nil = build it).
 	Entries []curate.Entry
+	// Workers sizes the evaluation pool; <= 0 means runtime.NumCPU().
+	// Results are identical for any worker count.
+	Workers int
 }
 
 func (c Table1Config) withDefaults() Table1Config {
@@ -126,31 +130,37 @@ func RunTable1(cfg Table1Config) *Table1Result {
 		collectHist := cb.prompt == core.ModeReAct && cb.rag &&
 			cb.comp == "quartus" && cb.persona == "gpt-3.5"
 
-		fixed := make([]int, len(entries))
-		total := make([]int, len(entries))
-		for i, e := range entries {
-			for rep := 0; rep < cfg.Repeats; rep++ {
-				tr := fixer.Fix("main.v", e.Code, e.SampleSeed+int64(rep)*7919)
-				total[i]++
-				if tr.Success {
-					fixed[i]++
-					if collectHist {
-						it := tr.Iterations
-						if it >= 0 && it < len(res.IterationHist) {
-							res.IterationHist[it]++
-						}
-					}
-				}
-			}
+		sum := runFixRateJobs(fixer, entries, cfg.Repeats, cfg.Workers)
+		if collectHist {
+			res.IterationHist = sum.IterationHist
 		}
-		rate, err := metrics.FixRate(fixed, total)
-		if err != nil {
-			panic(err)
-		}
-		cell.FixRate = rate
+		cell.FixRate = sum.FixRate
 		res.Cells = append(res.Cells, cell)
 	}
 	return res
+}
+
+// runFixRateJobs fans all (entry, repeat) attempts for one fixer
+// configuration out over the worker pool and aggregates them; shared by
+// Table 1 and the ablations. Each entry is one job group, so the
+// summary's FixRate is exactly metrics.FixRate over entries.
+func runFixRateJobs(f *core.RTLFixer, entries []curate.Entry, repeats, workers int) *pipeline.Summary {
+	jobs := make([]pipeline.Job, 0, len(entries)*repeats)
+	for i, e := range entries {
+		for rep := 0; rep < repeats; rep++ {
+			jobs = append(jobs, pipeline.Job{
+				Group:      i,
+				Filename:   "main.v",
+				Code:       e.Code,
+				SampleSeed: e.SampleSeed + int64(rep)*7919,
+			})
+		}
+	}
+	results, err := pipeline.Run(context.Background(), pipeline.Config{Workers: workers}, jobs, pipeline.FixWith(f))
+	if err != nil {
+		panic(err) // background context: cannot be canceled
+	}
+	return pipeline.Summarize(results)
 }
 
 // Render formats the grid in the paper's Table 1 layout.

@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"repro/internal/compiler"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/fixer"
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/pipeline"
 )
 
 // Table2Config parameterizes the pass@k experiment.
@@ -23,6 +26,10 @@ type Table2Config struct {
 	MaxProblems int
 	// Suites to evaluate; default Machine + Human.
 	Suites []dataset.Suite
+	// Workers sizes the fixing pool; <= 0 means runtime.NumCPU().
+	// Results are identical for any worker count: sample generation stays
+	// on one RNG stream, only the agent runs are parallel.
+	Workers int
 }
 
 func (c Table2Config) withDefaults() Table2Config {
@@ -100,6 +107,12 @@ func evaluate(p *dataset.Problem, code string, vecSeed int64) sampleOutcome {
 // RunTable2 reproduces Table 2 and Figure 4: generate n samples per
 // problem, measure pass@k, then fix syntax errors with the full RTLFixer
 // configuration (ReAct + RAG + Quartus) and measure again.
+//
+// The run is staged for determinism under parallelism: phase A walks the
+// suite sequentially on the shared RNG stream (generation + original
+// outcome + per-sample fix seeds), phase B fans the expensive agent runs
+// out over the pipeline's worker pool, and phase C re-scores and tallies
+// in the original sample order.
 func RunTable2(cfg Table2Config) *Table2Result {
 	cfg = cfg.withDefaults()
 	res := &Table2Result{
@@ -141,6 +154,17 @@ func RunTable2(cfg Table2Config) *Table2Result {
 		failingSamples := 0
 		syntaxFailures := 0
 
+		// Phase A: generate and score originals sequentially; queue a fix
+		// job (with its seed drawn here, on the shared stream) for every
+		// compile failure — the paper addresses syntax errors only.
+		type sampleRec struct {
+			pi      int
+			vecSeed int64
+			orig    sampleOutcome
+			fixJob  int // index into jobs; -1 when the sample is untouched
+		}
+		var recs []sampleRec
+		var jobs []pipeline.Job
 		for pi, p := range problems {
 			tallies[pi].difficulty = p.Difficulty
 			rates := llm.SkewRates(llm.RatesFor(string(p.Suite), string(p.Difficulty)), p.ID)
@@ -152,27 +176,44 @@ func RunTable2(cfg Table2Config) *Table2Result {
 
 				orig := evaluate(p, sample, vecSeed)
 				inner[orig.String()+"-"+string(p.Difficulty)]++
+				rec := sampleRec{pi: pi, vecSeed: vecSeed, orig: orig, fixJob: -1}
 				if orig == outcomePassed {
 					tallies[pi].origPass++
 				} else {
 					failingSamples++
 					if orig == outcomeCompileError {
 						syntaxFailures++
+						rec.fixJob = len(jobs)
+						jobs = append(jobs, pipeline.Job{
+							Group:      pi,
+							Filename:   "main.v",
+							Code:       sample,
+							SampleSeed: rng.Int63(),
+						})
 					}
 				}
+				recs = append(recs, rec)
+			}
+		}
 
-				// Fixing pass: only compile failures go through the agent
-				// (the paper addresses syntax errors only).
-				final := sample
-				if orig == outcomeCompileError {
-					tr := rtlfixer.Fix("main.v", sample, rng.Int63())
-					final = tr.FinalCode
-				}
-				fixed := evaluate(p, final, vecSeed)
-				outer[fixed.String()+"-"+string(p.Difficulty)]++
-				if fixed == outcomePassed {
-					tallies[pi].fixedPass++
-				}
+		// Phase B: the agent runs, fanned out over the pool.
+		fixResults, err := pipeline.Run(context.Background(), pipeline.Config{Workers: cfg.Workers}, jobs,
+			pipeline.FixWith(rtlfixer))
+		if err != nil {
+			panic(err) // background context: cannot be canceled
+		}
+
+		// Phase C: re-score in sample order. Untouched samples keep their
+		// original outcome (evaluate is a pure function of code + seed).
+		for _, rec := range recs {
+			p := problems[rec.pi]
+			fixed := rec.orig
+			if rec.fixJob >= 0 {
+				fixed = evaluate(p, fixResults[rec.fixJob].Transcript.FinalCode, rec.vecSeed)
+			}
+			outer[fixed.String()+"-"+string(p.Difficulty)]++
+			if fixed == outcomePassed {
+				tallies[rec.pi].fixedPass++
 			}
 		}
 
@@ -241,7 +282,13 @@ func (r *Table2Result) RenderFigure4() string {
 		"compile-error-easy", "compile-error-hard",
 		"simulation-error-easy", "simulation-error-hard",
 	}
-	for suite, rings := range r.Fig4 {
+	suites := make([]dataset.Suite, 0, len(r.Fig4))
+	for suite := range r.Fig4 {
+		suites = append(suites, suite)
+	}
+	sort.Slice(suites, func(i, j int) bool { return suites[i] < suites[j] })
+	for _, suite := range suites {
+		rings := r.Fig4[suite]
 		fmt.Fprintf(&b, "\nVerilogEval-%s:\n", suite)
 		fmt.Fprintf(&b, "  %-24s %-8s %-8s\n", "category", "inner", "outer")
 		for _, k := range keys {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -9,12 +10,15 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/pipeline"
 )
 
 // Table3Config parameterizes the RTLLM generalization experiment.
 type Table3Config struct {
 	Seed    int64
 	SampleN int // samples per problem (default 20)
+	// Workers sizes the fixing pool; <= 0 means runtime.NumCPU().
+	Workers int
 }
 
 func (c Table3Config) withDefaults() Table3Config {
@@ -55,42 +59,68 @@ func RunTable3(cfg Table3Config) *Table3Result {
 	}
 
 	res := &Table3Result{Problems: len(problems)}
-	var ns, origPass, fixedPass []int
 	origCompiles, fixedCompiles, total := 0, 0, 0
 
+	// Phase A (sequential, shared RNG stream): generate, score originals,
+	// queue fix jobs for compile failures. Phase B: parallel agent runs.
+	// Phase C: re-score in sample order — same staging as RunTable2.
+	type sampleRec struct {
+		pi      int
+		vecSeed int64
+		orig    sampleOutcome
+		fixJob  int
+	}
+	var recs []sampleRec
+	var jobs []pipeline.Job
+	ns := make([]int, len(problems))
+	origPass := make([]int, len(problems))
+	fixedPass := make([]int, len(problems))
 	for pi, p := range problems {
 		rates := llm.SkewRates(llm.RatesFor(string(p.Suite), string(p.Difficulty)), p.ID)
 		vecSeed := cfg.Seed ^ int64(pi)*7919
-		tallyN, tallyOrig, tallyFixed := 0, 0, 0
 		for s := 0; s < cfg.SampleN; s++ {
 			sample := llm.Generate(p.RefSource, rates, rng).Code
 			total++
-			tallyN++
+			ns[pi]++
 
 			orig := evaluate(p, sample, vecSeed)
 			if orig != outcomeCompileError {
 				origCompiles++
 			}
 			if orig == outcomePassed {
-				tallyOrig++
+				origPass[pi]++
 			}
-
-			final := sample
+			rec := sampleRec{pi: pi, vecSeed: vecSeed, orig: orig, fixJob: -1}
 			if orig == outcomeCompileError {
-				tr := rtlfixer.Fix("main.v", sample, rng.Int63())
-				final = tr.FinalCode
+				rec.fixJob = len(jobs)
+				jobs = append(jobs, pipeline.Job{
+					Group:      pi,
+					Filename:   "main.v",
+					Code:       sample,
+					SampleSeed: rng.Int63(),
+				})
 			}
-			fixed := evaluate(p, final, vecSeed)
-			if fixed != outcomeCompileError {
-				fixedCompiles++
-			}
-			if fixed == outcomePassed {
-				tallyFixed++
-			}
+			recs = append(recs, rec)
 		}
-		ns = append(ns, tallyN)
-		origPass = append(origPass, tallyOrig)
-		fixedPass = append(fixedPass, tallyFixed)
+	}
+
+	fixResults, err := pipeline.Run(context.Background(), pipeline.Config{Workers: cfg.Workers}, jobs,
+		pipeline.FixWith(rtlfixer))
+	if err != nil {
+		panic(err) // background context: cannot be canceled
+	}
+
+	for _, rec := range recs {
+		fixed := rec.orig
+		if rec.fixJob >= 0 {
+			fixed = evaluate(problems[rec.pi], fixResults[rec.fixJob].Transcript.FinalCode, rec.vecSeed)
+		}
+		if fixed != outcomeCompileError {
+			fixedCompiles++
+		}
+		if fixed == outcomePassed {
+			fixedPass[rec.pi]++
+		}
 	}
 
 	res.Samples = total

@@ -1,0 +1,216 @@
+// Package pipeline is the parallel evaluation layer of the reproduction:
+// it fans a batch of (problem, sampleSeed) jobs out over a fixed worker
+// pool, runs each through a caller-supplied fix function (normally
+// core.RTLFixer.Fix), and aggregates the results deterministically.
+//
+// Determinism is the central contract. Workers race over the job queue,
+// but every result is written back to the slot of its originating job, so
+// the returned slice is ordered by job index and is byte-for-byte
+// identical regardless of the worker count. The only requirement on the
+// fix function is that it is a pure function of its Job (all of
+// core.RTLFixer's per-call state — the simulated model's RNG — is derived
+// from Job.SampleSeed), which is also what makes it safe to call from
+// many goroutines at once.
+//
+// The shape mirrors the sharded worker-pool / central-aggregator pipelines
+// of high-throughput DAQ systems (see PAPERS.md): shard the suite, run
+// shards on independent pools, merge summaries at the end.
+package pipeline
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+)
+
+// Job is one unit of work: a single erroneous source to run through the
+// debugging agent.
+type Job struct {
+	// Index is the job's position in the batch. Run overwrites it with
+	// the slice position so results always align with the input order.
+	Index int
+	// Group buckets jobs for per-problem aggregation (e.g. all repeats of
+	// one curated entry share a Group). Summaries compute fix rates and
+	// pass@k inputs per group.
+	Group int
+	// Filename is passed through to the fix function.
+	Filename string
+	// Code is the erroneous source.
+	Code string
+	// SampleSeed drives the simulated model, exactly as in
+	// core.RTLFixer.Fix.
+	SampleSeed int64
+}
+
+// FixFunc runs one job and returns its transcript. It must be a pure
+// function of the job (no shared mutable state, no ambient randomness):
+// that is both the thread-safety and the determinism requirement.
+type FixFunc func(ctx context.Context, j Job) *agent.Transcript
+
+// Fixer is the slice of core.RTLFixer the pipeline needs (declared here
+// rather than importing core, which sits above this package).
+type Fixer interface {
+	Fix(filename, code string, sampleSeed int64) *agent.Transcript
+}
+
+// FixWith adapts a Fixer into a FixFunc — the standard way to submit
+// agent runs to the pool.
+func FixWith(f Fixer) FixFunc {
+	return func(_ context.Context, j Job) *agent.Transcript {
+		return f.Fix(j.Filename, j.Code, j.SampleSeed)
+	}
+}
+
+// Result pairs a job with its outcome.
+type Result struct {
+	Job        Job
+	Transcript *agent.Transcript
+	// Err is non-nil when the job was canceled or timed out before (or
+	// while) running; Transcript is nil in that case.
+	Err error
+	// Elapsed is the job's wall-clock run time (zero if never started).
+	Elapsed time.Duration
+}
+
+// Config tunes a pipeline run.
+type Config struct {
+	// Workers is the pool size; <= 0 means runtime.NumCPU().
+	Workers int
+	// JobTimeout bounds each job's wall-clock time; 0 means no limit.
+	// A timed-out job yields Err == context.DeadlineExceeded. The fix
+	// function itself cannot be preempted, so its goroutine is abandoned
+	// to finish in the background (agent runs are iteration-bounded, so
+	// this is bounded work).
+	JobTimeout time.Duration
+	// OnProgress, when non-nil, is called after each job completes with
+	// the number of completed jobs and the batch size. Calls are
+	// serialized but arrive in completion order, not job order.
+	OnProgress func(done, total int)
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Run executes the batch and returns one result per job, ordered by job
+// index. When ctx is canceled mid-batch, jobs not yet started are marked
+// with ctx.Err() and Run returns that error alongside the partial results;
+// jobs already running are left to finish so their slots are valid.
+func Run(ctx context.Context, cfg Config, jobs []Job, fn FixFunc) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+
+	queue := make(chan int)
+	var wg sync.WaitGroup
+
+	// progress serializes OnProgress callbacks across workers.
+	var progressMu sync.Mutex
+	done := 0
+	progress := func() {
+		if cfg.OnProgress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		d := done
+		progressMu.Unlock()
+		cfg.OnProgress(d, len(jobs))
+	}
+
+	workers := cfg.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				results[i] = runOne(ctx, cfg, jobs[i], i, fn)
+				progress()
+			}
+		}()
+	}
+
+	// Feed the queue until the batch is drained or the context dies.
+	var runErr error
+feed:
+	for i := range jobs {
+		select {
+		case queue <- i:
+		case <-ctx.Done():
+			runErr = ctx.Err()
+			// Mark everything not yet handed to a worker as canceled.
+			for j := i; j < len(jobs); j++ {
+				jb := jobs[j]
+				jb.Index = j
+				results[j] = Result{Job: jb, Err: ctx.Err()}
+				progress()
+			}
+			break feed
+		}
+	}
+	close(queue)
+	wg.Wait()
+	return results, runErr
+}
+
+// runOne executes a single job, applying the per-job timeout.
+func runOne(ctx context.Context, cfg Config, j Job, index int, fn FixFunc) Result {
+	j.Index = index
+	if err := ctx.Err(); err != nil {
+		return Result{Job: j, Err: err}
+	}
+	start := time.Now()
+	if cfg.JobTimeout <= 0 {
+		tr := fn(ctx, j)
+		return Result{Job: j, Transcript: tr, Elapsed: time.Since(start)}
+	}
+
+	jctx, cancel := context.WithTimeout(ctx, cfg.JobTimeout)
+	defer cancel()
+	ch := make(chan *agent.Transcript, 1)
+	go func() { ch <- fn(jctx, j) }()
+	select {
+	case tr := <-ch:
+		return Result{Job: j, Transcript: tr, Elapsed: time.Since(start)}
+	case <-jctx.Done():
+		return Result{Job: j, Err: jctx.Err(), Elapsed: time.Since(start)}
+	}
+}
+
+// Shard splits a batch into n contiguous, near-equal chunks (the last
+// chunks are one shorter when the division is uneven). Shards preserve job
+// order, so running shards on separate pools and concatenating their
+// result slices reproduces a single Run over the whole batch.
+func Shard(jobs []Job, n int) [][]Job {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	if n == 0 {
+		return nil
+	}
+	shards := make([][]Job, 0, n)
+	base, extra := len(jobs)/n, len(jobs)%n
+	at := 0
+	for s := 0; s < n; s++ {
+		size := base
+		if s < extra {
+			size++
+		}
+		shards = append(shards, jobs[at:at+size])
+		at += size
+	}
+	return shards
+}
