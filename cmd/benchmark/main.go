@@ -9,9 +9,13 @@
 //	benchmark -exp all               # everything (the default)
 //	benchmark -exp table1 -repeats 3 # quicker, noisier
 //	benchmark -workers 8             # size the evaluation pool
+//	benchmark -cache=false           # disable the memoization layer
 //
 // The expensive agent runs are fanned out over a worker pool
-// (internal/pipeline); output is byte-identical for any -workers value.
+// (internal/pipeline) and memoized through the sharded cache layer
+// (internal/memo); output is byte-identical for any -workers value and
+// for -cache on or off. Cache counters go to stderr, never stdout, so
+// table output stays comparable across configurations.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/curate"
+	"repro/internal/memo"
 )
 
 func main() {
@@ -31,6 +36,7 @@ func main() {
 	repeats := flag.Int("repeats", 10, "table 1 repeats per sample (paper: 10)")
 	samples := flag.Int("samples", 20, "table 2/3 samples per problem (paper: 20)")
 	workers := flag.Int("workers", runtime.NumCPU(), "evaluation pool size (output is identical for any value)")
+	cache := flag.Bool("cache", true, "enable the sharded memoization layer (output is identical either way)")
 	flag.Parse()
 
 	run := func(name string, f func()) {
@@ -38,14 +44,19 @@ func main() {
 			return
 		}
 		start := time.Now()
+		before := memo.Totals()
 		f()
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		if d := memo.Totals().Sub(before); *cache && d != (memo.Stats{}) {
+			fmt.Fprintf(os.Stderr, "[%s cache: %d compile hits, %d misses, %d evictions, %d index lookups]\n",
+				name, d.Hits, d.Misses, d.Evictions, d.Lookups)
+		}
 	}
 
 	var t1 *bench.Table1Result
 	table1 := func() *bench.Table1Result {
 		if t1 == nil {
-			t1 = bench.RunTable1(bench.Table1Config{Seed: *seed, Repeats: *repeats, Workers: *workers})
+			t1 = bench.RunTable1(bench.Table1Config{Seed: *seed, Repeats: *repeats, Workers: *workers, Cache: *cache})
 		}
 		return t1
 	}
@@ -53,7 +64,7 @@ func main() {
 	var t2 *bench.Table2Result
 	table2 := func() *bench.Table2Result {
 		if t2 == nil {
-			t2 = bench.RunTable2(bench.Table2Config{Seed: *seed, SampleN: *samples, Workers: *workers})
+			t2 = bench.RunTable2(bench.Table2Config{Seed: *seed, SampleN: *samples, Workers: *workers, Cache: *cache})
 		}
 		return t2
 	}
@@ -72,17 +83,17 @@ func main() {
 	run("table2", func() { fmt.Print(table2().Render()) })
 	run("figure4", func() { fmt.Print(table2().RenderFigure4()) })
 	run("table3", func() {
-		res := bench.RunTable3(bench.Table3Config{Seed: *seed, SampleN: *samples, Workers: *workers})
+		res := bench.RunTable3(bench.Table3Config{Seed: *seed, SampleN: *samples, Workers: *workers, Cache: *cache})
 		fmt.Print(res.Render())
 	})
 	run("ablation", func() {
 		entries, _ := curate.Build(curate.Options{Seed: *seed})
 		fmt.Print(bench.RenderAblation("Retriever ablation (ReAct+RAG+Quartus fix rate):",
-			bench.RunRetrieverAblation(*seed, 3, entries, *workers)))
+			bench.RunRetrieverAblation(*seed, 3, entries, *workers, *cache)))
 		fmt.Print(bench.RenderAblation("Iteration-budget ablation:",
-			bench.RunIterationBudgetAblation(*seed, 3, 10, entries, *workers)))
+			bench.RunIterationBudgetAblation(*seed, 3, 10, entries, *workers, *cache)))
 		fmt.Print(bench.RenderAblation("Guidance-size ablation (Quartus DB truncated):",
-			bench.RunGuidanceSizeAblation(*seed, 3, entries, *workers)))
+			bench.RunGuidanceSizeAblation(*seed, 3, entries, *workers, *cache)))
 	})
 	run("simfeedback", func() {
 		fmt.Print(bench.RunSimFeedback(*seed, *samples/2).Render())

@@ -38,6 +38,7 @@ func main() {
 	dump := flag.String("dump", "", "directory to write curated .v files into")
 	verify := flag.Bool("verify", false, "sanity-check the curated set with the reference agent")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel agent runs for -verify")
+	cache := flag.Bool("cache", true, "enable the sharded memoization layer for -verify (output is identical either way)")
 	show := flag.String("show", "", "print one problem (by ID, searched across suites)")
 	seed := flag.Int64("seed", 2024, "random seed")
 	flag.Parse()
@@ -102,7 +103,7 @@ func main() {
 			}
 
 			fixer, err := core.New(core.Options{
-				CompilerName: "quartus", RAG: true, Mode: core.ModeReAct, Seed: *seed})
+				CompilerName: "quartus", RAG: true, Mode: core.ModeReAct, Seed: *seed, Cache: *cache})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "dataset: %v\n", err)
 				os.Exit(1)

@@ -53,6 +53,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "print only the final code")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel agent runs when fixing several files")
 	timeout := flag.Duration("timeout", 0, "per-file wall-clock budget (0 = none)")
+	cache := flag.Bool("cache", true, "enable the sharded memoization layer (output is identical either way)")
 	flag.Parse()
 
 	var sources, names []string
@@ -86,6 +87,7 @@ func main() {
 		Mode:          m,
 		MaxIterations: *iters,
 		Seed:          *seed,
+		Cache:         *cache,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rtlfixer: %v\n", err)
@@ -129,6 +131,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rtlfixer: %s: syntax errors remain after the iteration budget\n", names[i])
 			failed = true
 		}
+	}
+	// Cache counters go to stderr so stdout stays byte-deterministic.
+	if s := fixer.CacheStats(); *cache && !*quiet {
+		fmt.Fprintf(os.Stderr, "rtlfixer: cache: %d compile hits, %d misses, %d evictions, %d index lookups\n",
+			s.Hits, s.Misses, s.Evictions, s.Lookups)
 	}
 	if failed {
 		os.Exit(1)

@@ -69,12 +69,9 @@ func main() {
 				os.Exit(2)
 			}
 			res := comp.Compile(name, src)
-			if res.Log != "" {
-				fmt.Print(res.Log)
-			}
-			if res.Ok && res.Log == "" {
-				fmt.Printf("%s: clean\n", name)
-			}
+			// Every persona now emits a non-empty log on success too, so
+			// the log is the whole report.
+			fmt.Print(res.Log)
 			if !res.Ok {
 				failed = true
 			}

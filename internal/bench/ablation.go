@@ -32,8 +32,11 @@ func runFixRate(f *core.RTLFixer, entries []curate.Entry, repeats, workers int) 
 
 // RunRetrieverAblation compares retrieval strategies under the full
 // configuration (ReAct + RAG + Quartus + gpt-3.5), plus the no-RAG
-// baseline. workers sizes the evaluation pool (<= 0 = runtime.NumCPU()).
-func RunRetrieverAblation(seed int64, repeats int, entries []curate.Entry, workers int) []AblationResult {
+// baseline. workers sizes the evaluation pool (<= 0 = runtime.NumCPU());
+// cache enables the memoization layer (output is identical either way —
+// the exact-tag, fuzzy, and keyword strategies are served from the
+// precompiled index, custom strategies fall back to the naive scan).
+func RunRetrieverAblation(seed int64, repeats int, entries []curate.Entry, workers int, cache bool) []AblationResult {
 	if entries == nil {
 		entries, _ = curate.Build(curate.Options{Seed: seed})
 	}
@@ -58,6 +61,7 @@ func RunRetrieverAblation(seed int64, repeats int, entries []curate.Entry, worke
 			Retriever:    cfg.retriever,
 			Mode:         core.ModeReAct,
 			Seed:         seed,
+			Cache:        cache,
 		})
 		if err != nil {
 			panic(err)
@@ -69,7 +73,7 @@ func RunRetrieverAblation(seed int64, repeats int, entries []curate.Entry, worke
 
 // RunIterationBudgetAblation sweeps the ReAct iteration budget 1..max,
 // locating the knee implied by Figure 7.
-func RunIterationBudgetAblation(seed int64, repeats, max int, entries []curate.Entry, workers int) []AblationResult {
+func RunIterationBudgetAblation(seed int64, repeats, max int, entries []curate.Entry, workers int, cache bool) []AblationResult {
 	if entries == nil {
 		entries, _ = curate.Build(curate.Options{Seed: seed})
 	}
@@ -87,6 +91,7 @@ func RunIterationBudgetAblation(seed int64, repeats, max int, entries []curate.E
 			Mode:          core.ModeReAct,
 			MaxIterations: budget,
 			Seed:          seed,
+			Cache:         cache,
 		})
 		if err != nil {
 			panic(err)
@@ -120,7 +125,7 @@ func (t truncatedRetriever) Retrieve(db *rag.Database, log string, k int) []rag.
 
 // RunGuidanceSizeAblation truncates the curated Quartus database to
 // fractions of its 45 entries and measures the fix rate.
-func RunGuidanceSizeAblation(seed int64, repeats int, entries []curate.Entry, workers int) []AblationResult {
+func RunGuidanceSizeAblation(seed int64, repeats int, entries []curate.Entry, workers int, cache bool) []AblationResult {
 	if entries == nil {
 		entries, _ = curate.Build(curate.Options{Seed: seed})
 	}
@@ -134,14 +139,19 @@ func RunGuidanceSizeAblation(seed int64, repeats int, entries []curate.Entry, wo
 		var err error
 		if keep == 0 {
 			f, err = core.New(core.Options{
-				CompilerName: "quartus", Mode: core.ModeReAct, Seed: seed})
+				CompilerName: "quartus", Mode: core.ModeReAct, Seed: seed, Cache: cache})
 		} else {
+			// The truncating retriever is a custom strategy, so core.New
+			// skips building a retrieval index for it (memo.Indexable is
+			// false) and it runs as a naive scan; the compile cache still
+			// applies.
 			f, err = core.New(core.Options{
 				CompilerName: "quartus",
 				RAG:          true,
 				Retriever:    truncatedRetriever{inner: rag.ExactTag{}, keep: keep},
 				Mode:         core.ModeReAct,
 				Seed:         seed,
+				Cache:        cache,
 			})
 		}
 		if err != nil {

@@ -32,6 +32,9 @@ type Table1Config struct {
 	// Workers sizes the evaluation pool; <= 0 means runtime.NumCPU().
 	// Results are identical for any worker count.
 	Workers int
+	// Cache enables the sharded memoization layer (internal/memo).
+	// Table output is byte-identical with it on or off.
+	Cache bool
 }
 
 func (c Table1Config) withDefaults() Table1Config {
@@ -123,6 +126,7 @@ func RunTable1(cfg Table1Config) *Table1Result {
 			RAG:          cb.rag,
 			Mode:         cb.prompt,
 			Seed:         cfg.Seed,
+			Cache:        cfg.Cache,
 		})
 		if err != nil {
 			panic(err) // combos are all valid by construction
@@ -160,7 +164,9 @@ func runFixRateJobs(f *core.RTLFixer, entries []curate.Entry, repeats, workers i
 	if err != nil {
 		panic(err) // background context: cannot be canceled
 	}
-	return pipeline.Summarize(results)
+	sum := pipeline.Summarize(results)
+	sum.Cache = f.CacheStats()
+	return sum
 }
 
 // Render formats the grid in the paper's Table 1 layout.

@@ -30,6 +30,9 @@ type Table2Config struct {
 	// Results are identical for any worker count: sample generation stays
 	// on one RNG stream, only the agent runs are parallel.
 	Workers int
+	// Cache enables the sharded memoization layer (internal/memo).
+	// Table output is byte-identical with it on or off.
+	Cache bool
 }
 
 func (c Table2Config) withDefaults() Table2Config {
@@ -129,6 +132,7 @@ func RunTable2(cfg Table2Config) *Table2Result {
 		RAG:          true,
 		Mode:         core.ModeReAct,
 		Seed:         cfg.Seed,
+		Cache:        cfg.Cache,
 	})
 	if err != nil {
 		panic(err)

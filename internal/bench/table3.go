@@ -19,6 +19,9 @@ type Table3Config struct {
 	SampleN int // samples per problem (default 20)
 	// Workers sizes the fixing pool; <= 0 means runtime.NumCPU().
 	Workers int
+	// Cache enables the sharded memoization layer (internal/memo).
+	// Table output is byte-identical with it on or off.
+	Cache bool
 }
 
 func (c Table3Config) withDefaults() Table3Config {
@@ -53,6 +56,7 @@ func RunTable3(cfg Table3Config) *Table3Result {
 		RAG:          true, // the same curated DB as Table 1: nothing new
 		Mode:         core.ModeReAct,
 		Seed:         cfg.Seed,
+		Cache:        cfg.Cache,
 	})
 	if err != nil {
 		panic(err)

@@ -65,7 +65,12 @@ func Frontend(src string) (*verilog.SourceFile, *sema.Design, diag.List) {
 		return file, nil, parseDiags
 	}
 	design, semaDiags := sema.Elaborate(file)
-	all := append(parseDiags, semaDiags...)
+	// Copy into a fresh slice: append(parseDiags, ...) may share
+	// parseDiags' backing array, which SortByPos would then mutate under
+	// any caller still holding the parse diagnostics.
+	all := make(diag.List, 0, len(parseDiags)+len(semaDiags))
+	all = append(all, parseDiags...)
+	all = append(all, semaDiags...)
 	all.SortByPos()
 	if all.HasErrors() {
 		return file, nil, all
@@ -117,7 +122,10 @@ func (IVerilog) Compile(filename, src string) Result {
 	file, design, diags := Frontend(src)
 	res := Result{File: file, Design: design, Diags: diags, Ok: design != nil}
 	if res.Ok {
-		res.Log = ""
+		// Real iverilog is silent on success, but an empty log would leave
+		// the agent with an empty Observation step; echo the filename the
+		// way the error lines do.
+		res.Log = fmt.Sprintf("%s: compiled successfully.\n", filename)
 		return res
 	}
 	var b strings.Builder

@@ -221,3 +221,59 @@ endmodule`
 		t.Fatalf("warning should appear in the log: %q", res.Log)
 	}
 }
+
+func TestAllPersonasEmitNonEmptySuccessLog(t *testing.T) {
+	// An empty success log would leave the agent recording an empty
+	// Observation step; every persona must say something on success.
+	for _, c := range All() {
+		res := c.Compile("main.v", cleanExample)
+		if !res.Ok {
+			t.Fatalf("%s rejects clean code: %s", c.Name(), res.Log)
+		}
+		if strings.TrimSpace(res.Log) == "" {
+			t.Errorf("%s success log is empty", c.Name())
+		}
+	}
+}
+
+func TestIVerilogSuccessLogEchoesFilename(t *testing.T) {
+	res := IVerilog{}.Compile("adder.v", cleanExample)
+	if !res.Ok {
+		t.Fatalf("clean code rejected: %s", res.Log)
+	}
+	if !strings.Contains(res.Log, "adder.v") {
+		t.Fatalf("iverilog success log should echo the filename, got %q", res.Log)
+	}
+}
+
+func TestFrontendMergedDiagsAreSortedAndComplete(t *testing.T) {
+	// Frontend merges parse and sema diagnostics into a fresh slice (no
+	// shared backing array with the parse list) and position-sorts the
+	// result; both streams must survive the merge in order.
+	src := `module m(input a, output y);
+	assign y = b;
+	assign q = a;
+endmodule
+`
+	_, design, all := Frontend(src)
+	if design != nil {
+		t.Fatal("source with sema errors must not elaborate")
+	}
+	if len(all) < 2 {
+		t.Fatalf("expected at least two diagnostics, got %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Pos.Line < all[i-1].Pos.Line {
+			t.Fatalf("diagnostics not sorted by position: %+v", all)
+		}
+	}
+	found := false
+	for _, d := range all {
+		if d.Category == diag.CatUndeclaredIdent {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("sema diagnostics lost in the merge")
+	}
+}

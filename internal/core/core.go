@@ -11,6 +11,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/compiler"
 	"repro/internal/llm"
+	"repro/internal/memo"
 	"repro/internal/rag"
 )
 
@@ -43,6 +44,14 @@ type Options struct {
 	MaxIterations int
 	// Seed makes runs reproducible.
 	Seed int64
+	// Cache enables the sharded memoization layer (internal/memo): a
+	// content-addressed compile cache in front of the persona and, with
+	// RAG on, a precompiled retrieval index over the guidance database.
+	// Transparent: transcripts and table output are byte-identical with
+	// the cache on or off.
+	Cache bool
+	// CacheCapacity bounds the compile cache (entries); 0 = default.
+	CacheCapacity int
 }
 
 // RTLFixer is a configured debugging agent.
@@ -51,6 +60,12 @@ type RTLFixer struct {
 	compiler compiler.Compiler
 	persona  llm.Persona
 	db       *rag.Database
+	// retriever is the effective retrieval strategy: Options.Retriever,
+	// possibly wrapped by the memo index when caching is on.
+	retriever rag.Retriever
+	// compileCache and index are non-nil only when Options.Cache is set.
+	compileCache *memo.CompileCache
+	index        *memo.RetrievalIndex
 }
 
 // New validates options and builds a fixer.
@@ -72,11 +87,36 @@ func New(opts Options) (*RTLFixer, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: unknown LLM persona %q", opts.PersonaName)
 	}
-	f := &RTLFixer{opts: opts, compiler: comp, persona: persona}
+	f := &RTLFixer{opts: opts, compiler: comp, persona: persona, retriever: opts.Retriever}
+	if opts.Cache {
+		f.compileCache = memo.NewCompileCache(opts.CacheCapacity)
+		f.compiler = f.compileCache.Cached(comp)
+	}
 	if opts.RAG {
 		f.db = rag.ForCompiler(comp.Name())
+		if opts.Cache && memo.Indexable(opts.Retriever) {
+			// Precompile the retrieval index once; every worker then
+			// shares the read-only inverted index and shingle sets.
+			// Custom strategies skip the build — the index could not
+			// serve them, so it would be constructed and never consulted.
+			f.index = memo.NewRetrievalIndex(f.db)
+			f.retriever = f.index.Wrap(opts.Retriever)
+		}
 	}
 	return f, nil
+}
+
+// CacheStats snapshots the memoization-layer counters (zero when
+// Options.Cache is off).
+func (f *RTLFixer) CacheStats() memo.Stats {
+	var s memo.Stats
+	if f.compileCache != nil {
+		s = s.Add(f.compileCache.Stats())
+	}
+	if f.index != nil {
+		s = s.Add(f.index.Stats())
+	}
+	return s
 }
 
 // Compiler exposes the configured persona (for examples and tests).
@@ -95,7 +135,7 @@ func (f *RTLFixer) Fix(filename, code string, sampleSeed int64) *agent.Transcrip
 		Compiler:      f.compiler,
 		Model:         llm.NewModel(f.persona, f.opts.Seed^sampleSeed),
 		DB:            f.db,
-		Retriever:     f.opts.Retriever,
+		Retriever:     f.retriever,
 		MaxIterations: f.opts.MaxIterations,
 		Filename:      filename,
 		SampleSeed:    sampleSeed,

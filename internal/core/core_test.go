@@ -3,6 +3,8 @@ package core
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/memo"
 )
 
 const paperClkExample = `module top_module (
@@ -110,5 +112,46 @@ func TestFixMarkdownWrappedCode(t *testing.T) {
 	}
 	if len(tr.FixerRules) == 0 {
 		t.Fatal("fixer rules should have fired")
+	}
+}
+
+func TestCacheIsTransparent(t *testing.T) {
+	// The memo layer must not change a single transcript byte: run the
+	// same sessions through a cached and an uncached fixer and compare.
+	mk := func(cache bool) *RTLFixer {
+		f, err := New(Options{CompilerName: "quartus", RAG: true, Seed: 42, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	plain, cached := mk(false), mk(true)
+	for seed := int64(0); seed < 6; seed++ {
+		a := plain.Fix("vector100r.sv", paperClkExample, seed)
+		b := cached.Fix("vector100r.sv", paperClkExample, seed)
+		if a.Render() != b.Render() || a.FinalCode != b.FinalCode {
+			t.Fatalf("seed %d: cached transcript diverges:\n%s\nvs\n%s", seed, a.Render(), b.Render())
+		}
+	}
+	s := cached.CacheStats()
+	if s.Hits == 0 {
+		t.Fatalf("repeated sessions produced no compile-cache hits: %+v", s)
+	}
+	if s.Lookups == 0 {
+		t.Fatalf("RAG retrievals were not served by the index: %+v", s)
+	}
+	if z := plain.CacheStats(); z != (memo.Stats{}) {
+		t.Fatalf("uncached fixer reports stats: %+v", z)
+	}
+}
+
+func TestCacheStatsZeroWhenOff(t *testing.T) {
+	f, err := New(Options{CompilerName: "quartus", RAG: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Fix("main.v", paperClkExample, 3)
+	if s := f.CacheStats(); s != (memo.Stats{}) {
+		t.Fatalf("cache off but stats non-zero: %+v", s)
 	}
 }

@@ -7,6 +7,7 @@
 package fixer
 
 import (
+	"regexp"
 	"strings"
 )
 
@@ -95,6 +96,7 @@ func extractMarkdownBlock(src string) (string, bool) {
 func stripChatProse(src string) (string, bool) {
 	lines := strings.Split(src, "\n")
 	start := 0
+	sawProse := false
 	for i, line := range lines {
 		t := strings.TrimSpace(line)
 		if t == "" {
@@ -106,14 +108,14 @@ func stripChatProse(src string) (string, bool) {
 		}
 		// A non-code line before any code: candidate prose. Keep
 		// scanning; if code follows, everything before it goes.
+		sawProse = true
 		start = -1
 	}
-	if start <= 0 {
-		if start == 0 {
-			return src, false
-		}
-		// No code found at all: leave untouched and let the compiler
-		// complain.
+	// start == -1: no code found at all — leave untouched and let the
+	// compiler complain. !sawProse: only blank lines precede the first
+	// code line, which is not prose; reporting a change here would log the
+	// rule in Transcript.FixerRules for inputs it did not clean.
+	if start <= 0 || !sawProse {
 		return src, false
 	}
 	return strings.Join(lines[start:], "\n"), true
@@ -165,13 +167,22 @@ func hoistTimescale(src string) (string, bool) {
 	return strings.Join(append(directives, rest...), "\n"), true
 }
 
+// moduleTokenRe and endmoduleTokenRe match the keywords as whole tokens:
+// substring counting would see a spurious "module" inside identifiers like
+// `top_module` (ubiquitous in VerilogEval sources) and inflate the open
+// count, so stacked duplicate `endmodule`s were never removed. \b treats
+// `_` as a word character, so neither regexp matches inside identifiers,
+// and `module` does not match inside `endmodule`.
+var (
+	moduleTokenRe    = regexp.MustCompile(`\bmodule\b`)
+	endmoduleTokenRe = regexp.MustCompile(`\bendmodule\b`)
+)
+
 // dropDuplicateEndmodule removes endmodule keywords beyond the balance
 // point (one endmodule per module).
 func dropDuplicateEndmodule(src string) (string, bool) {
-	closes := strings.Count(src, "endmodule")
-	// Each "endmodule" also contains the substring "module", so the count
-	// of standalone module keywords is the difference.
-	opens := strings.Count(src, "module") - closes
+	closes := len(endmoduleTokenRe.FindAllStringIndex(src, -1))
+	opens := len(moduleTokenRe.FindAllStringIndex(src, -1))
 	if closes <= opens || closes <= 1 {
 		return src, false
 	}

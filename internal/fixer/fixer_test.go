@@ -110,6 +110,56 @@ func TestInteriorEndmoduleSurvives(t *testing.T) {
 	}
 }
 
+func TestDropDuplicateEndmoduleWithModuleInIdentifier(t *testing.T) {
+	// `top_module` contains the substring "module"; counting substrings
+	// instead of word-boundary tokens inflated the open count so stacked
+	// duplicate endmodules were never removed for typical VerilogEval
+	// sources. Regression for the token-counting fix.
+	src := "module top_module(input a, output y);\n\tassign y = a;\nendmodule\nendmodule\n"
+	res := Fix(src)
+	if got := strings.Count(res.Code, "endmodule"); got != 1 {
+		t.Fatalf("%d endmodules survive:\n%s", got, res.Code)
+	}
+	if !applied(res, "drop-duplicate-endmodule") {
+		t.Errorf("rule not recorded: %v", res.Applied)
+	}
+}
+
+func TestDropDuplicateEndmoduleStackWithBlanks(t *testing.T) {
+	src := "module top_module(input a, output y);\n\tassign y = a;\nendmodule\n\nendmodule\n\nendmodule\n"
+	res := Fix(src)
+	if got := strings.Count(res.Code, "endmodule"); got != 1 {
+		t.Fatalf("%d endmodules survive:\n%s", got, res.Code)
+	}
+}
+
+func TestStripChatProseBlankLinesOnlyNotReported(t *testing.T) {
+	// Only blank lines before the first code line is not prose; the rule
+	// must not report a change (it would pollute Transcript.FixerRules).
+	src := "\n\n" + clean
+	next, changed := stripChatProse(src)
+	if changed {
+		t.Fatalf("blank-only prefix reported as a change: %q", next)
+	}
+	if next != src {
+		t.Fatalf("input modified without change report: %q", next)
+	}
+	if res := Fix(src); applied(res, "strip-chat-prose") {
+		t.Errorf("strip-chat-prose recorded for blank-only prefix: %v", res.Applied)
+	}
+}
+
+func TestStripChatProseStillFiresWithBlankAndProseMix(t *testing.T) {
+	src := "\nHere is the corrected code:\n\n" + clean
+	res := Fix(src)
+	if strings.Contains(res.Code, "corrected code") {
+		t.Fatalf("prose survives: %q", res.Code)
+	}
+	if !applied(res, "strip-chat-prose") {
+		t.Errorf("rule not recorded: %v", res.Applied)
+	}
+}
+
 func TestNormalizeSmartQuotes(t *testing.T) {
 	src := "module m(input a, output y);\n\tassign y = a; // it’s “fine”\nendmodule\n"
 	res := Fix(src)

@@ -111,7 +111,11 @@ func Run(ctx context.Context, cfg Config, jobs []Job, fn FixFunc) ([]Result, err
 	queue := make(chan int)
 	var wg sync.WaitGroup
 
-	// progress serializes OnProgress callbacks across workers.
+	// progress serializes OnProgress callbacks across workers. The
+	// callback runs under the mutex so invocations are truly serialized
+	// and done counts arrive in order, as Config documents; callbacks are
+	// expected to be cheap (progress display), so holding the lock across
+	// them does not throttle the pool meaningfully.
 	var progressMu sync.Mutex
 	done := 0
 	progress := func() {
@@ -120,9 +124,8 @@ func Run(ctx context.Context, cfg Config, jobs []Job, fn FixFunc) ([]Result, err
 		}
 		progressMu.Lock()
 		done++
-		d := done
+		cfg.OnProgress(done, len(jobs))
 		progressMu.Unlock()
-		cfg.OnProgress(d, len(jobs))
 	}
 
 	workers := cfg.workers()

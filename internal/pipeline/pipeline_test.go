@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/memo"
 )
 
 // synthFix is a deterministic pure function of the job, mimicking the
@@ -200,25 +201,25 @@ func TestJobTimeout(t *testing.T) {
 	}
 }
 
-// TestProgressCallback checks every completion is reported exactly once
-// and the final call sees the full batch.
+// TestProgressCallback checks every completion is reported exactly once,
+// in order (calls are serialized, per Config's contract), and the final
+// call sees the full batch.
 func TestProgressCallback(t *testing.T) {
-	var calls atomic.Int32
-	var final atomic.Int32
+	calls := 0 // plain int: the serialization contract makes this safe
 	cfg := Config{Workers: 4, OnProgress: func(done, total int) {
-		calls.Add(1)
+		calls++
 		if total != 30 {
 			t.Errorf("total = %d, want 30", total)
 		}
-		if done == total {
-			final.Add(1)
+		if done != calls {
+			t.Errorf("done = %d on call %d; counts must arrive in order", done, calls)
 		}
 	}}
 	if _, err := Run(context.Background(), cfg, makeJobs(30, 5), synthFix); err != nil {
 		t.Fatal(err)
 	}
-	if calls.Load() != 30 || final.Load() != 1 {
-		t.Fatalf("progress calls = %d (final=%d), want 30 (1)", calls.Load(), final.Load())
+	if calls != 30 {
+		t.Fatalf("progress calls = %d, want 30", calls)
 	}
 }
 
@@ -278,5 +279,102 @@ func TestEmptyBatch(t *testing.T) {
 	}
 	if s := Summarize(results); !math.IsNaN(s.FixRate) || s.Jobs != 0 {
 		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+// TestCancellationProgressReachesTotal: even when the batch is canceled
+// mid-drain, every job — completed or canceled — must be reported through
+// OnProgress exactly once, so a CLI progress display always terminates at
+// total, and every canceled slot must carry ctx.Err().
+func TestCancellationProgressReachesTotal(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	block := make(chan struct{})
+	fn := func(_ context.Context, j Job) *agent.Transcript {
+		if started.Add(1) == 2 {
+			cancel()
+		}
+		<-block
+		return synthFix(context.Background(), j)
+	}
+	jobs := makeJobs(25, 5)
+	var calls atomic.Int32
+	var maxDone atomic.Int32
+	cfg := Config{Workers: 2, OnProgress: func(done, total int) {
+		calls.Add(1)
+		if total != 25 {
+			t.Errorf("total = %d, want 25", total)
+		}
+		if int32(done) > maxDone.Load() {
+			maxDone.Store(int32(done))
+		}
+	}}
+	go func() {
+		for started.Load() < 2 {
+			time.Sleep(time.Millisecond)
+		}
+		<-ctx.Done()
+		close(block)
+	}()
+	results, runErr := Run(ctx, cfg, jobs, fn)
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", runErr)
+	}
+	if calls.Load() != 25 || maxDone.Load() != 25 {
+		t.Fatalf("progress calls = %d, max done = %d, want 25/25", calls.Load(), maxDone.Load())
+	}
+	for i, r := range results {
+		if r.Err != nil && !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("slot %d carries %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+// TestShardEmptyAndOversplit pins the remaining Shard edge cases: an
+// empty (non-nil) batch, a shard count exceeding the batch, and exact
+// coverage with order preserved.
+func TestShardEmptyAndOversplit(t *testing.T) {
+	if got := Shard([]Job{}, 3); len(got) != 0 {
+		t.Fatalf("Shard(empty) = %v, want no shards", got)
+	}
+	jobs := makeJobs(4, 2)
+	shards := Shard(jobs, 9)
+	if len(shards) != 4 {
+		t.Fatalf("n > len(jobs) must clamp to len(jobs): got %d shards", len(shards))
+	}
+	seen := 0
+	for si, sh := range shards {
+		if len(sh) != 1 {
+			t.Fatalf("oversplit shard %d has %d jobs, want 1", si, len(sh))
+		}
+		if sh[0].SampleSeed != jobs[seen].SampleSeed {
+			t.Fatalf("shard %d out of order", si)
+		}
+		seen++
+	}
+	if seen != len(jobs) {
+		t.Fatalf("shards cover %d jobs, want %d", seen, len(jobs))
+	}
+}
+
+// TestSummaryCarriesCacheStats: Summarize leaves Cache zero (it cannot
+// know the fixer's counters); callers attach them, and Merge sums.
+func TestSummaryCarriesCacheStats(t *testing.T) {
+	jobs := makeJobs(6, 2)
+	results, err := Run(context.Background(), Config{Workers: 2}, jobs, synthFix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Summarize(results)
+	if a.Cache != (memo.Stats{}) {
+		t.Fatalf("Summarize must not invent cache stats: %+v", a.Cache)
+	}
+	a.Cache = memo.Stats{Hits: 10, Misses: 2, Lookups: 5}
+	b := Summarize(results)
+	b.Cache = memo.Stats{Hits: 1, Misses: 1, Evictions: 3}
+	m := Merge(a, b)
+	want := memo.Stats{Hits: 11, Misses: 3, Evictions: 3, Lookups: 5}
+	if m.Cache != want {
+		t.Fatalf("Merge cache stats = %+v, want %+v", m.Cache, want)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/memo"
 	"repro/internal/metrics"
 )
 
@@ -36,6 +37,12 @@ type Summary struct {
 	// TotalWork sums per-job elapsed time: the serial cost the pool
 	// amortized.
 	TotalWork time.Duration
+	// Cache holds the memoization-layer counters for the run when the
+	// caller attaches them (bench does, via core.RTLFixer.CacheStats);
+	// zero when caching is off. Under concurrency the hit/miss split is
+	// approximate — racing workers may both miss one key — so it is
+	// reported alongside, never inside, the deterministic table output.
+	Cache memo.Stats
 }
 
 // Summarize folds an index-ordered result slice into a Summary.
@@ -105,6 +112,7 @@ func Merge(parts ...*Summary) *Summary {
 		m.Failed += p.Failed
 		m.Errored += p.Errored
 		m.TotalWork += p.TotalWork
+		m.Cache = m.Cache.Add(p.Cache)
 		for g := range p.GroupTotal {
 			m.GroupTotal[g] += p.GroupTotal[g]
 			m.GroupFixed[g] += p.GroupFixed[g]

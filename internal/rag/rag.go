@@ -106,7 +106,7 @@ func (ExactTag) Name() string { return "exact-tag" }
 
 // Retrieve implements Retriever.
 func (ExactTag) Retrieve(db *Database, log string, k int) []Entry {
-	var hits []scoredEntry
+	var hits []ScoredEntry
 	for _, e := range db.entries {
 		best := 0
 		for _, p := range e.Patterns {
@@ -115,33 +115,39 @@ func (ExactTag) Retrieve(db *Database, log string, k int) []Entry {
 			}
 		}
 		if best > 0 {
-			hits = append(hits, scoredEntry{e, best})
+			hits = append(hits, ScoredEntry{e, best})
 		}
 	}
-	sort.SliceStable(hits, func(i, j int) bool { return hits[i].score > hits[j].score })
-	return takeDistinctCategories(hits, k)
+	return SelectByScore(hits, k)
 }
 
-// scoredEntry pairs an entry with its retrieval score.
-type scoredEntry struct {
-	e     Entry
-	score int
+// ScoredEntry pairs an entry with its integer retrieval score. Exported so
+// index-backed retrievers (internal/memo) can feed precomputed scores
+// through the exact selection logic the naive scans use.
+type ScoredEntry struct {
+	Entry Entry
+	Score int
 }
 
-func takeDistinctCategories(hits []scoredEntry, k int) []Entry {
+// SelectByScore ranks hits by score (stable sort, descending — entries tie
+// in database order) and keeps at most k, capping two per category so
+// multi-error logs still get coverage for every error class present. It is
+// the shared tail of ExactTag and Keyword retrieval; byte-identical
+// results between the naive and indexed paths depend on both going
+// through it.
+func SelectByScore(hits []ScoredEntry, k int) []Entry {
+	sort.SliceStable(hits, func(i, j int) bool { return hits[i].Score > hits[j].Score })
 	var out []Entry
 	seen := map[diag.Category]int{}
 	for _, h := range hits {
 		if len(out) >= k {
 			break
 		}
-		// At most 2 entries per category so multi-error logs still get
-		// coverage for every error class present.
-		if seen[h.e.Category] >= 2 {
+		if seen[h.Entry.Category] >= 2 {
 			continue
 		}
-		seen[h.e.Category]++
-		out = append(out, h.e)
+		seen[h.Entry.Category]++
+		out = append(out, h.Entry)
 	}
 	return out
 }
@@ -160,16 +166,24 @@ type Fuzzy struct {
 // Name implements Retriever.
 func (Fuzzy) Name() string { return "fuzzy-jaccard" }
 
-// Retrieve implements Retriever.
-func (f Fuzzy) Retrieve(db *Database, log string, k int) []Entry {
-	shingleK := f.ShingleK
+// Params resolves the effective shingle size and similarity floor,
+// applying the zero-value defaults. Index-backed retrieval (internal/memo)
+// uses it so both paths agree on the parameters.
+func (f Fuzzy) Params() (shingleK int, minSim float64) {
+	shingleK = f.ShingleK
 	if shingleK == 0 {
 		shingleK = 3
 	}
-	minSim := f.MinSimilarity
+	minSim = f.MinSimilarity
 	if minSim == 0 {
 		minSim = 0.05
 	}
+	return shingleK, minSim
+}
+
+// Retrieve implements Retriever.
+func (f Fuzzy) Retrieve(db *Database, log string, k int) []Entry {
+	shingleK, minSim := f.Params()
 	logSet := cluster.Shingles(log, shingleK)
 	type scored struct {
 		e   Entry
@@ -205,7 +219,7 @@ func (Keyword) Name() string { return "keyword" }
 // Retrieve implements Retriever.
 func (Keyword) Retrieve(db *Database, log string, k int) []Entry {
 	lower := strings.ToLower(log)
-	var hits []scoredEntry
+	var hits []ScoredEntry
 	for _, e := range db.entries {
 		score := 0
 		for _, p := range e.Patterns {
@@ -216,11 +230,10 @@ func (Keyword) Retrieve(db *Database, log string, k int) []Entry {
 			}
 		}
 		if score > 0 {
-			hits = append(hits, scoredEntry{e, score})
+			hits = append(hits, ScoredEntry{e, score})
 		}
 	}
-	sort.SliceStable(hits, func(i, j int) bool { return hits[i].score > hits[j].score })
-	return takeDistinctCategories(hits, k)
+	return SelectByScore(hits, k)
 }
 
 // Render formats retrieved entries the way the agent's observation shows
