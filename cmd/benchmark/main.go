@@ -10,15 +10,23 @@
 //	benchmark -exp table1 -repeats 3 # quicker, noisier
 //	benchmark -workers 8             # size the evaluation pool
 //	benchmark -cache=false           # disable the memoization layer
+//	benchmark -exp table1 -json      # machine-readable results on stdout
 //
 // The expensive agent runs are fanned out over a worker pool
 // (internal/pipeline) and memoized through the sharded cache layer
 // (internal/memo); output is byte-identical for any -workers value and
 // for -cache on or off. Cache counters go to stderr, never stdout, so
 // table output stays comparable across configurations.
+//
+// With -json, stdout carries exactly one JSON document — an object with
+// "schema", "seed", and one entry per selected experiment under
+// "experiments" — and the human tables plus timing lines move to stderr,
+// so dashboards (e.g. ones fed by rtlfixerd's /v1/stats) can consume the
+// results without scraping.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,16 +45,29 @@ func main() {
 	samples := flag.Int("samples", 20, "table 2/3 samples per problem (paper: 20)")
 	workers := flag.Int("workers", runtime.NumCPU(), "evaluation pool size (output is identical for any value)")
 	cache := flag.Bool("cache", true, "enable the sharded memoization layer (output is identical either way)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON on stdout (tables move to stderr)")
 	flag.Parse()
 
-	run := func(name string, f func()) {
+	// Under -json the human-readable stream moves wholesale to stderr so
+	// stdout is exactly one JSON document.
+	human := os.Stdout
+	if *jsonOut {
+		human = os.Stderr
+	}
+	experiments := map[string]any{}
+
+	// run gates one experiment on -exp, times it, and (with -json)
+	// collects its machine-readable form under name.
+	run := func(name string, f func() any) {
 		if *exp != "all" && *exp != name {
 			return
 		}
 		start := time.Now()
 		before := memo.Totals()
-		f()
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		if v := f(); *jsonOut && v != nil {
+			experiments[name] = v
+		}
+		fmt.Fprintf(human, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 		if d := memo.Totals().Sub(before); *cache && d != (memo.Stats{}) {
 			fmt.Fprintf(os.Stderr, "[%s cache: %d compile hits, %d misses, %d evictions, %d index lookups]\n",
 				name, d.Hits, d.Misses, d.Evictions, d.Lookups)
@@ -69,34 +90,61 @@ func main() {
 		return t2
 	}
 
-	run("curation", func() {
+	run("curation", func() any {
 		entries, stats := curate.Build(curate.Options{Seed: *seed})
-		fmt.Println("VerilogEval-syntax curation pipeline:")
-		fmt.Printf("  sampled:          %d\n", stats.Sampled)
-		fmt.Printf("  compile-failing:  %d\n", stats.CompileFailing)
-		fmt.Printf("  after filtering:  %d\n", stats.Filtered)
-		fmt.Printf("  DBSCAN clusters:  %d\n", stats.Clusters)
-		fmt.Printf("  final dataset:    %d erroneous implementations\n", len(entries))
+		fmt.Fprintln(human, "VerilogEval-syntax curation pipeline:")
+		fmt.Fprintf(human, "  sampled:          %d\n", stats.Sampled)
+		fmt.Fprintf(human, "  compile-failing:  %d\n", stats.CompileFailing)
+		fmt.Fprintf(human, "  after filtering:  %d\n", stats.Filtered)
+		fmt.Fprintf(human, "  DBSCAN clusters:  %d\n", stats.Clusters)
+		fmt.Fprintf(human, "  final dataset:    %d erroneous implementations\n", len(entries))
+		return bench.CurationJSON{
+			Sampled:        stats.Sampled,
+			CompileFailing: stats.CompileFailing,
+			Filtered:       stats.Filtered,
+			Clusters:       stats.Clusters,
+			Final:          len(entries),
+		}
 	})
-	run("table1", func() { fmt.Print(table1().Render()) })
-	run("figure7", func() { fmt.Print(table1().RenderFigure7()) })
-	run("table2", func() { fmt.Print(table2().Render()) })
-	run("figure4", func() { fmt.Print(table2().RenderFigure4()) })
-	run("table3", func() {
+	run("table1", func() any {
+		fmt.Fprint(human, table1().Render())
+		return table1().JSON()
+	})
+	run("figure7", func() any {
+		fmt.Fprint(human, table1().RenderFigure7())
+		return table1().JSON().IterationHist
+	})
+	run("table2", func() any {
+		fmt.Fprint(human, table2().Render())
+		return table2().JSON()
+	})
+	run("figure4", func() any {
+		fmt.Fprint(human, table2().RenderFigure4())
+		return table2().JSON().Figure4
+	})
+	run("table3", func() any {
 		res := bench.RunTable3(bench.Table3Config{Seed: *seed, SampleN: *samples, Workers: *workers, Cache: *cache})
-		fmt.Print(res.Render())
+		fmt.Fprint(human, res.Render())
+		return res.JSON()
 	})
-	run("ablation", func() {
+	run("ablation", func() any {
 		entries, _ := curate.Build(curate.Options{Seed: *seed})
-		fmt.Print(bench.RenderAblation("Retriever ablation (ReAct+RAG+Quartus fix rate):",
-			bench.RunRetrieverAblation(*seed, 3, entries, *workers, *cache)))
-		fmt.Print(bench.RenderAblation("Iteration-budget ablation:",
-			bench.RunIterationBudgetAblation(*seed, 3, 10, entries, *workers, *cache)))
-		fmt.Print(bench.RenderAblation("Guidance-size ablation (Quartus DB truncated):",
-			bench.RunGuidanceSizeAblation(*seed, 3, entries, *workers, *cache)))
+		retriever := bench.RunRetrieverAblation(*seed, 3, entries, *workers, *cache)
+		budget := bench.RunIterationBudgetAblation(*seed, 3, 10, entries, *workers, *cache)
+		guidance := bench.RunGuidanceSizeAblation(*seed, 3, entries, *workers, *cache)
+		fmt.Fprint(human, bench.RenderAblation("Retriever ablation (ReAct+RAG+Quartus fix rate):", retriever))
+		fmt.Fprint(human, bench.RenderAblation("Iteration-budget ablation:", budget))
+		fmt.Fprint(human, bench.RenderAblation("Guidance-size ablation (Quartus DB truncated):", guidance))
+		return map[string]any{
+			"retriever":        bench.AblationsJSON(retriever),
+			"iteration_budget": bench.AblationsJSON(budget),
+			"guidance_size":    bench.AblationsJSON(guidance),
+		}
 	})
-	run("simfeedback", func() {
-		fmt.Print(bench.RunSimFeedback(*seed, *samples/2).Render())
+	run("simfeedback", func() any {
+		res := bench.RunSimFeedback(*seed, *samples/2)
+		fmt.Fprint(human, res.Render())
+		return res.JSON()
 	})
 
 	if *exp != "all" {
@@ -106,6 +154,20 @@ func main() {
 		default:
 			fmt.Fprintf(os.Stderr, "benchmark: unknown experiment %q\n", *exp)
 			os.Exit(2)
+		}
+	}
+
+	if *jsonOut {
+		doc := map[string]any{
+			"schema":      "rtlfixer-bench/v1",
+			"seed":        *seed,
+			"experiments": experiments,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchmark: encode: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -1,0 +1,237 @@
+// Command loadgen replays curated dataset problems against a running
+// rtlfixerd at a target rate and reports throughput and latency
+// percentiles — the synthetic-traffic half of the serving story, and the
+// harness behind the coalescing/cache A-B comparison:
+//
+//	rtlfixerd -addr 127.0.0.1:0 &              # full service
+//	loadgen -addr http://127.0.0.1:PORT -n 200 -distinct 1
+//	rtlfixerd -coalesce=false -cache=false &   # stripped baseline
+//	loadgen -addr http://127.0.0.1:PORT -n 200 -distinct 1
+//
+// With -distinct 1 every request carries the same source (a thundering
+// herd); the coalescing + caching service should clear several times the
+// baseline's request rate.
+//
+// The corpus is the paper's curated erroneous-implementation dataset
+// (internal/curate), cycled round-robin over -distinct problems. Exit
+// status is non-zero when any request fails at the transport level or no
+// request succeeds — so CI smoke jobs can assert on it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/curate"
+	"repro/internal/metrics"
+)
+
+type result struct {
+	status  int
+	success bool
+	err     error
+	ms      float64
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "rtlfixerd base URL")
+	n := flag.Int("n", 100, "total requests to send")
+	qps := flag.Float64("qps", 0, "target request rate (0 = as fast as -concurrency allows)")
+	concurrency := flag.Int("concurrency", 8, "concurrent in-flight requests")
+	distinct := flag.Int("distinct", 1, "distinct problems cycled through (1 = repeated-source herd)")
+	offset := flag.Int("offset", 0, "first corpus entry to replay (heavy 10-iteration problems live at higher indices)")
+	seed := flag.Int64("seed", 2024, "corpus curation seed")
+	timeoutMS := flag.Int64("timeout-ms", 0, "per-request deadline sent to the server (0 = server default)")
+	lint := flag.Bool("lint", false, "drive /v1/lint instead of /v1/fix")
+	showStats := flag.Bool("show-stats", false, "fetch and print /v1/stats after the run")
+	flag.Parse()
+
+	if *n <= 0 || *concurrency <= 0 || *distinct <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -n, -concurrency and -distinct must be positive")
+		os.Exit(2)
+	}
+
+	entries, _ := curate.Build(curate.Options{Seed: *seed})
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: empty corpus")
+		os.Exit(1)
+	}
+	if *distinct > len(entries) {
+		fmt.Fprintf(os.Stderr, "loadgen: corpus has %d problems; clamping -distinct\n", len(entries))
+		*distinct = len(entries)
+	}
+	if *offset < 0 || *offset >= len(entries) {
+		fmt.Fprintf(os.Stderr, "loadgen: -offset outside corpus [0, %d)\n", len(entries))
+		os.Exit(2)
+	}
+	type req struct {
+		body []byte
+	}
+	endpoint := "/v1/fix"
+	if *lint {
+		endpoint = "/v1/lint"
+	}
+	corpus := make([]req, *distinct)
+	for i := range corpus {
+		e := entries[(*offset+i)%len(entries)]
+		body, err := json.Marshal(map[string]any{
+			"source":     e.Code,
+			"filename":   e.ProblemID + ".v",
+			"seed":       int64(i) + 1,
+			"timeout_ms": *timeoutMS,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		corpus[i] = req{body: body}
+	}
+
+	// Bound every request so a wedged daemon fails the run loudly
+	// instead of hanging it (CI asserts on loadgen's exit code).
+	clientTimeout := 2 * time.Minute
+	if *timeoutMS > 0 {
+		clientTimeout = time.Duration(*timeoutMS)*time.Millisecond + 30*time.Second
+	}
+	// Default transport keeps only 2 idle conns per host; at higher
+	// concurrency that re-dials TCP per request and the measurement
+	// becomes connection churn.
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConnsPerHost = *concurrency
+	client := &http.Client{Timeout: clientTimeout, Transport: transport}
+	hist := metrics.NewLatencyHistogram()
+	results := make([]result, *n)
+
+	// Pacing: with -qps, a ticker feeds request slots; without, the
+	// tokens channel is pre-filled so only -concurrency limits the rate.
+	tokens := make(chan struct{}, *n)
+	if *qps > 0 {
+		interval := time.Duration(float64(time.Second) / *qps)
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for i := 0; i < *n; i++ {
+				tokens <- struct{}{}
+				<-t.C
+			}
+			close(tokens)
+		}()
+	} else {
+		for i := 0; i < *n; i++ {
+			tokens <- struct{}{}
+		}
+		close(tokens)
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		i := 0
+		for range tokens {
+			next <- i
+			i++
+		}
+		close(next)
+	}()
+
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r := &results[i]
+				began := time.Now()
+				resp, err := client.Post(*addr+endpoint, "application/json",
+					bytes.NewReader(corpus[i%*distinct].body))
+				r.ms = float64(time.Since(began)) / float64(time.Millisecond)
+				if err != nil {
+					r.err = err
+					continue
+				}
+				var body struct {
+					Success bool `json:"success"`
+					Ok      bool `json:"ok"`
+				}
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				_ = json.Unmarshal(data, &body)
+				r.status = resp.StatusCode
+				r.success = body.Success || body.Ok
+				// Percentiles describe served requests only: fast 429/503
+				// rejections must not flatter the latency report.
+				if r.status == http.StatusOK {
+					hist.Observe(r.ms)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	statusCounts := map[int]int{}
+	transportErrs, fixed := 0, 0
+	for _, r := range results {
+		if r.err != nil {
+			transportErrs++
+			continue
+		}
+		statusCounts[r.status]++
+		if r.status == http.StatusOK && r.success {
+			fixed++
+		}
+	}
+
+	// Throughput counts served (200) responses only: a daemon shedding
+	// load with fast 429s must not report as fast serving.
+	served := statusCounts[http.StatusOK]
+	fmt.Printf("loadgen: %d requests to %s%s in %v (%.1f served/s, %.1f sent/s)\n", *n, *addr, endpoint,
+		elapsed.Round(time.Millisecond),
+		float64(served)/elapsed.Seconds(), float64(*n)/elapsed.Seconds())
+	var codes []int
+	for c := range statusCounts {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	var parts []string
+	for _, c := range codes {
+		parts = append(parts, fmt.Sprintf("%d×%d", c, statusCounts[c]))
+	}
+	if transportErrs > 0 {
+		parts = append(parts, fmt.Sprintf("transport-error×%d", transportErrs))
+	}
+	fmt.Printf("loadgen: status %s; %d succeeded\n", strings.Join(parts, " "), fixed)
+	s := hist.Snapshot()
+	if s.Count > 0 {
+		fmt.Printf("loadgen: latency ms p50=%.2f p90=%.2f p99=%.2f max=%.2f\n", s.P50, s.P90, s.P99, s.Max)
+	}
+
+	if *showStats {
+		resp, err := client.Get(*addr + "/v1/stats")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: stats: %v\n", err)
+			os.Exit(1)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var pretty bytes.Buffer
+		if json.Indent(&pretty, data, "", "  ") == nil {
+			fmt.Printf("loadgen: /v1/stats:\n%s\n", pretty.Bytes())
+		} else {
+			fmt.Printf("loadgen: /v1/stats: %s\n", data)
+		}
+	}
+
+	if transportErrs > 0 || statusCounts[http.StatusOK] == 0 {
+		os.Exit(1)
+	}
+}

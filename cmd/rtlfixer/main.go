@@ -14,12 +14,19 @@
 // the agent runs are fanned out over -workers goroutines
 // (internal/pipeline); per-file output is printed in argument order, so
 // it is identical for any worker count.
+//
+// Exit status reflects fix outcomes, so scripts and harnesses can detect
+// failures: 0 when every input was fixed, 1 when any input could not be
+// read, errored, or remained broken after the iteration budget, 2 on
+// usage errors.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -43,37 +50,50 @@ endmodule
 `
 
 func main() {
-	compilerName := flag.String("compiler", "quartus", "feedback persona: simple, iverilog, or quartus")
-	persona := flag.String("persona", "gpt-3.5", "LLM persona: gpt-3.5 or gpt-4")
-	mode := flag.String("mode", "react", "prompting mode: react or one-shot")
-	ragOn := flag.Bool("rag", true, "consult the retrieval database")
-	iters := flag.Int("iters", 0, "max ReAct iterations (0 = paper default of 10)")
-	seed := flag.Int64("seed", 1, "random seed")
-	demo := flag.Bool("demo", false, "run on the paper's Fig. 5 example")
-	quiet := flag.Bool("quiet", false, "print only the final code")
-	workers := flag.Int("workers", runtime.NumCPU(), "parallel agent runs when fixing several files")
-	timeout := flag.Duration("timeout", 0, "per-file wall-clock budget (0 = none)")
-	cache := flag.Bool("cache", true, "enable the sharded memoization layer (output is identical either way)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, so tests can assert on the exit
+// code contract directly.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtlfixer", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	compilerName := fs.String("compiler", "quartus", "feedback persona: simple, iverilog, or quartus")
+	persona := fs.String("persona", "gpt-3.5", "LLM persona: gpt-3.5 or gpt-4")
+	mode := fs.String("mode", "react", "prompting mode: react or one-shot")
+	ragOn := fs.Bool("rag", true, "consult the retrieval database")
+	iters := fs.Int("iters", 0, "max ReAct iterations (0 = paper default of 10)")
+	seed := fs.Int64("seed", 1, "random seed")
+	demo := fs.Bool("demo", false, "run on the paper's Fig. 5 example")
+	quiet := fs.Bool("quiet", false, "print only the final code")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel agent runs when fixing several files")
+	timeout := fs.Duration("timeout", 0, "per-file wall-clock budget (0 = none)")
+	cache := fs.Bool("cache", true, "enable the sharded memoization layer (output is identical either way)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	var sources, names []string
 	switch {
 	case *demo:
 		sources, names = []string{demoSource}, []string{"vector100r.sv"}
-	case flag.NArg() >= 1:
-		for _, name := range flag.Args() {
+	case fs.NArg() >= 1:
+		for _, name := range fs.Args() {
 			data, err := os.ReadFile(name)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "rtlfixer: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "rtlfixer: %v\n", err)
+				return 1
 			}
 			names = append(names, name)
 			sources = append(sources, string(data))
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: rtlfixer [flags] file.v ...   (or rtlfixer -demo)")
-		flag.PrintDefaults()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: rtlfixer [flags] file.v ...   (or rtlfixer -demo)")
+		fs.PrintDefaults()
+		return 2
 	}
 
 	m := core.ModeReAct
@@ -90,8 +110,8 @@ func main() {
 		Cache:         *cache,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rtlfixer: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "rtlfixer: %v\n", err)
+		return 1
 	}
 
 	jobs := make([]pipeline.Job, len(names))
@@ -107,7 +127,7 @@ func main() {
 	failed := false
 	for i, r := range results {
 		if r.Err != nil {
-			fmt.Fprintf(os.Stderr, "rtlfixer: %s: %v\n", names[i], r.Err)
+			fmt.Fprintf(stderr, "rtlfixer: %s: %v\n", names[i], r.Err)
 			failed = true
 			continue
 		}
@@ -117,27 +137,28 @@ func main() {
 		// verbose-only so -quiet output stays byte-deterministic.
 		if len(results) > 1 {
 			if *quiet {
-				fmt.Printf("==> %s\n", names[i])
+				fmt.Fprintf(stdout, "==> %s\n", names[i])
 			} else {
-				fmt.Printf("==> %s (%v)\n", names[i], r.Elapsed.Round(time.Millisecond))
+				fmt.Fprintf(stdout, "==> %s (%v)\n", names[i], r.Elapsed.Round(time.Millisecond))
 			}
 		}
 		if !*quiet {
-			fmt.Println(tr.Render())
-			fmt.Println("Final code:")
+			fmt.Fprintln(stdout, tr.Render())
+			fmt.Fprintln(stdout, "Final code:")
 		}
-		fmt.Println(tr.FinalCode)
+		fmt.Fprintln(stdout, tr.FinalCode)
 		if !tr.Success {
-			fmt.Fprintf(os.Stderr, "rtlfixer: %s: syntax errors remain after the iteration budget\n", names[i])
+			fmt.Fprintf(stderr, "rtlfixer: %s: syntax errors remain after the iteration budget\n", names[i])
 			failed = true
 		}
 	}
 	// Cache counters go to stderr so stdout stays byte-deterministic.
 	if s := fixer.CacheStats(); *cache && !*quiet {
-		fmt.Fprintf(os.Stderr, "rtlfixer: cache: %d compile hits, %d misses, %d evictions, %d index lookups\n",
+		fmt.Fprintf(stderr, "rtlfixer: cache: %d compile hits, %d misses, %d evictions, %d index lookups\n",
 			s.Hits, s.Misses, s.Evictions, s.Lookups)
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,114 @@
+// Command rtlfixerd is the long-running RTLFixer service: a JSON HTTP
+// daemon (internal/server) that pools one fixer per configuration so the
+// compile cache and retrieval index are shared across requests, with
+// bounded admission, request coalescing, batched dispatch, per-request
+// deadlines, live /v1/stats metrics, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	rtlfixerd                            # serve on 127.0.0.1:8080
+//	rtlfixerd -addr 127.0.0.1:0          # serve on a random free port
+//	rtlfixerd -max-inflight 8 -queue 32  # size admission control
+//	rtlfixerd -coalesce=false -cache=false   # A/B baseline for loadgen
+//
+// The daemon prints exactly one line to stdout — "rtlfixerd: listening on
+// HOST:PORT" — so scripts can discover a randomly assigned port; all
+// other logging goes to stderr. SIGTERM/SIGINT trigger a graceful drain:
+// admission stops (healthz flips to 503), admitted requests finish, then
+// the process exits 0. The -drain-timeout deadline aborts the drain and
+// exits 1; a second signal kills the process immediately via the default
+// signal disposition (terminated-by-signal status, not an exit code).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	seed := flag.Int64("seed", 1, "base seed for every pooled fixer")
+	workers := flag.Int("workers", runtime.NumCPU(), "pipeline workers per dispatch batch")
+	maxInFlight := flag.Int("max-inflight", 2*runtime.NumCPU(), "max concurrently running fix requests")
+	queueDepth := flag.Int("queue", 64, "admitted-but-waiting requests beyond -max-inflight (0 = none)")
+	maxBatch := flag.Int("max-batch", 0, "max requests per dispatch batch (0 = -max-inflight)")
+	linger := flag.Duration("linger", 2*time.Millisecond, "batch fill window after the first queued request")
+	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "deadline for requests without timeout_ms")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper clamp on request deadlines")
+	coalesce := flag.Bool("coalesce", true, "coalesce identical concurrent requests into one run")
+	cache := flag.Bool("cache", true, "enable the sharded memoization layer")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain may take")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "rtlfixerd: ", log.LstdFlags)
+
+	qd := *queueDepth
+	if qd == 0 {
+		qd = -1 // server.Config: <0 means zero queue, 0 means default
+	}
+	srv := server.New(server.Config{
+		Seed:            *seed,
+		MaxInFlight:     *maxInFlight,
+		QueueDepth:      qd,
+		MaxBatch:        *maxBatch,
+		BatchLinger:     *linger,
+		Workers:         *workers,
+		DefaultTimeout:  *defaultTimeout,
+		MaxTimeout:      *maxTimeout,
+		DisableCoalesce: !*coalesce,
+		DisableCache:    !*cache,
+		Logf:            logger.Printf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	// The one stdout line: scripts parse the resolved port from it.
+	fmt.Printf("rtlfixerd: listening on %s\n", ln.Addr())
+	logger.Printf("serving (inflight=%d queue=%d batch<=%d linger=%v coalesce=%v cache=%v)",
+		*maxInFlight, *queueDepth, *maxBatch, *linger, *coalesce, *cache)
+
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		logger.Fatalf("serve: %v", err)
+	}
+	stop() // a second signal kills the process the default way
+
+	logger.Printf("signal received; draining (timeout %v)", *drainTimeout)
+	srv.BeginDrain() // healthz flips to 503; new fix work is refused
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Shutdown stops accepting and waits for in-flight handlers, which in
+	// turn wait for their flights; Drain then retires the dispatcher.
+	httpErr := httpSrv.Shutdown(shutdownCtx)
+	drainErr := srv.Drain(shutdownCtx)
+	srv.Close()
+	if httpErr != nil || drainErr != nil {
+		logger.Printf("drain incomplete: http=%v dispatch=%v", httpErr, drainErr)
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly; bye")
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,182 @@
+// Machine-readable forms of the benchmark results, for cmd/benchmark
+// -json and for dashboards fed alongside the rtlfixerd /v1/stats
+// pipeline. Each result type gets a JSON() method returning a
+// marshal-safe mirror: encoding/json rejects NaN, so undefined cells
+// (the paper's "-" entries) become null via *float64.
+package bench
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// jsonRate maps a fix rate to a nullable JSON number (NaN → null).
+func jsonRate(v float64) *float64 {
+	if math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// Table1CellJSON is one Table 1 cell; FixRate is null for undefined
+// combinations (Simple+RAG has no log to retrieve on).
+type Table1CellJSON struct {
+	Prompt   string   `json:"prompt"`
+	RAG      bool     `json:"rag"`
+	Compiler string   `json:"compiler"`
+	Persona  string   `json:"persona"`
+	FixRate  *float64 `json:"fix_rate"`
+}
+
+// Table1JSON mirrors Table1Result (plus Figure 7's histogram).
+type Table1JSON struct {
+	DatasetSize   int              `json:"dataset_size"`
+	Cells         []Table1CellJSON `json:"cells"`
+	IterationHist []int            `json:"iteration_hist"`
+	Curation      CurationJSON     `json:"curation"`
+}
+
+// CurationJSON mirrors curate.Stats.
+type CurationJSON struct {
+	Sampled        int `json:"sampled"`
+	CompileFailing int `json:"compile_failing"`
+	Filtered       int `json:"filtered"`
+	Clusters       int `json:"clusters"`
+	Final          int `json:"final"`
+}
+
+// JSON returns the marshal-safe form.
+func (r *Table1Result) JSON() Table1JSON {
+	out := Table1JSON{
+		DatasetSize:   r.DatasetSize,
+		IterationHist: r.IterationHist[:],
+		Curation: CurationJSON{
+			Sampled:        r.CurationStats.Sampled,
+			CompileFailing: r.CurationStats.CompileFailing,
+			Filtered:       r.CurationStats.Filtered,
+			Clusters:       r.CurationStats.Clusters,
+			Final:          r.CurationStats.Final,
+		},
+	}
+	for _, c := range r.Cells {
+		out.Cells = append(out.Cells, Table1CellJSON{
+			Prompt:   string(c.Prompt),
+			RAG:      c.RAG,
+			Compiler: c.Compiler,
+			Persona:  c.Persona,
+			FixRate:  jsonRate(c.FixRate),
+		})
+	}
+	return out
+}
+
+// Table2RowJSON is one pass@k row.
+type Table2RowJSON struct {
+	Suite  string  `json:"suite"`
+	Subset string  `json:"subset"`
+	Orig1  float64 `json:"orig_pass1"`
+	Fixed1 float64 `json:"fixed_pass1"`
+	Orig5  float64 `json:"orig_pass5"`
+	Fixed5 float64 `json:"fixed_pass5"`
+}
+
+// Figure4JSON is one suite's outcome rings (inner = original samples,
+// outer = after fixing), keyed by outcome-difficulty.
+type Figure4JSON struct {
+	Inner map[string]float64 `json:"inner"`
+	Outer map[string]float64 `json:"outer"`
+}
+
+// Table2JSON mirrors Table2Result plus its Figure 4 data.
+type Table2JSON struct {
+	Rows             []Table2RowJSON        `json:"rows"`
+	Figure4          map[string]Figure4JSON `json:"figure4"`
+	SyntaxErrorShare map[string]float64     `json:"syntax_error_share"`
+}
+
+// JSON returns the marshal-safe form.
+func (r *Table2Result) JSON() Table2JSON {
+	out := Table2JSON{
+		Figure4:          map[string]Figure4JSON{},
+		SyntaxErrorShare: map[string]float64{},
+	}
+	for _, row := range r.Rows {
+		out.Rows = append(out.Rows, Table2RowJSON{
+			Suite:  string(row.Suite),
+			Subset: row.Subset,
+			Orig1:  row.Orig1,
+			Fixed1: row.Fixed1,
+			Orig5:  row.Orig5,
+			Fixed5: row.Fixed5,
+		})
+	}
+	for suite, rings := range r.Fig4 {
+		out.Figure4[string(suite)] = Figure4JSON{Inner: rings.Inner, Outer: rings.Outer}
+	}
+	for suite, share := range r.SyntaxErrorShare {
+		out.SyntaxErrorShare[string(suite)] = share
+	}
+	return out
+}
+
+// Table3JSON mirrors Table3Result.
+type Table3JSON struct {
+	Suite           string  `json:"suite"`
+	Problems        int     `json:"problems"`
+	Samples         int     `json:"samples"`
+	OrigSyntaxRate  float64 `json:"orig_syntax_ok_rate"`
+	FixedSyntaxRate float64 `json:"fixed_syntax_ok_rate"`
+	OrigPass1       float64 `json:"orig_pass1"`
+	FixedPass1      float64 `json:"fixed_pass1"`
+}
+
+// JSON returns the marshal-safe form.
+func (r *Table3Result) JSON() Table3JSON {
+	return Table3JSON{
+		Suite:           string(dataset.SuiteRTLLM),
+		Problems:        r.Problems,
+		Samples:         r.Samples,
+		OrigSyntaxRate:  r.OrigSyntaxRate,
+		FixedSyntaxRate: r.FixedSyntaxRate,
+		OrigPass1:       r.OrigPass1,
+		FixedPass1:      r.FixedPass1,
+	}
+}
+
+// AblationJSON is one ablation configuration.
+type AblationJSON struct {
+	Name    string   `json:"name"`
+	FixRate *float64 `json:"fix_rate"`
+}
+
+// AblationsJSON converts a named ablation sweep.
+func AblationsJSON(results []AblationResult) []AblationJSON {
+	out := make([]AblationJSON, 0, len(results))
+	for _, r := range results {
+		out = append(out, AblationJSON{Name: r.Name, FixRate: jsonRate(r.FixRate)})
+	}
+	return out
+}
+
+// SimFeedbackJSON mirrors SimFeedbackResult.
+type SimFeedbackJSON struct {
+	Problems            int     `json:"problems"`
+	Samples             int     `json:"samples"`
+	Pass1AfterSyntax    float64 `json:"pass1_after_syntax"`
+	Pass1AfterSimRepair float64 `json:"pass1_after_sim_repair"`
+	EasyGain            float64 `json:"easy_gain"`
+	HardGain            float64 `json:"hard_gain"`
+}
+
+// JSON returns the marshal-safe form.
+func (r *SimFeedbackResult) JSON() SimFeedbackJSON {
+	return SimFeedbackJSON{
+		Problems:            r.Problems,
+		Samples:             r.Samples,
+		Pass1AfterSyntax:    r.Pass1AfterSyntax,
+		Pass1AfterSimRepair: r.Pass1AfterSimRepair,
+		EasyGain:            r.EasyGain,
+		HardGain:            r.HardGain,
+	}
+}

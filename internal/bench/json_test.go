@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestTable1JSONMarshalSafe: the JSON mirror must marshal (NaN cells
+// would make encoding/json fail) and preserve every cell, with undefined
+// combinations mapped to null.
+func TestTable1JSONMarshalSafe(t *testing.T) {
+	r := quickTable1(t)
+	j := r.JSON()
+	data, err := json.Marshal(j)
+	if err != nil {
+		t.Fatalf("Table1 JSON does not marshal: %v", err)
+	}
+	if len(j.Cells) != len(r.Cells) {
+		t.Fatalf("JSON has %d cells, result has %d", len(j.Cells), len(r.Cells))
+	}
+	undef, def := 0, 0
+	for i, c := range j.Cells {
+		if math.IsNaN(r.Cells[i].FixRate) {
+			if c.FixRate != nil {
+				t.Fatalf("cell %d: undefined rate not mapped to null", i)
+			}
+			undef++
+		} else {
+			if c.FixRate == nil || *c.FixRate != r.Cells[i].FixRate {
+				t.Fatalf("cell %d: defined rate lost in JSON", i)
+			}
+			def++
+		}
+	}
+	if undef == 0 || def == 0 {
+		t.Fatalf("expected both defined (%d) and undefined (%d) cells", def, undef)
+	}
+	// Round-trips cleanly.
+	var back Table1JSON
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.DatasetSize != r.DatasetSize || len(back.IterationHist) != len(r.IterationHist) {
+		t.Fatal("round-trip lost fields")
+	}
+}
+
+func TestTable2And3JSON(t *testing.T) {
+	r2 := RunTable2(Table2Config{Seed: 7, SampleN: 4})
+	j2 := r2.JSON()
+	if _, err := json.Marshal(j2); err != nil {
+		t.Fatalf("Table2 JSON does not marshal: %v", err)
+	}
+	if len(j2.Rows) != len(r2.Rows) || len(j2.Figure4) != len(r2.Fig4) {
+		t.Fatal("Table2 JSON dropped rows or rings")
+	}
+	for _, row := range j2.Rows {
+		if row.Suite == "" || row.Subset == "" {
+			t.Fatalf("row missing labels: %+v", row)
+		}
+	}
+
+	r3 := RunTable3(Table3Config{Seed: 7, SampleN: 4})
+	j3 := r3.JSON()
+	if _, err := json.Marshal(j3); err != nil {
+		t.Fatalf("Table3 JSON does not marshal: %v", err)
+	}
+	if j3.Suite != "rtllm" || j3.Problems != r3.Problems {
+		t.Fatalf("Table3 JSON mislabeled: %+v", j3)
+	}
+}
+
+func TestAblationAndSimFeedbackJSON(t *testing.T) {
+	in := []AblationResult{
+		{Name: "exact-tag", FixRate: 0.75},
+		{Name: "undefined", FixRate: math.NaN()},
+	}
+	out := AblationsJSON(in)
+	if len(out) != 2 || out[0].FixRate == nil || *out[0].FixRate != 0.75 || out[1].FixRate != nil {
+		t.Fatalf("ablation JSON wrong: %+v", out)
+	}
+	if _, err := json.Marshal(out); err != nil {
+		t.Fatalf("ablation JSON does not marshal: %v", err)
+	}
+
+	sf := &SimFeedbackResult{Pass1AfterSyntax: 0.3, Pass1AfterSimRepair: 0.4, Problems: 5, Samples: 10}
+	if _, err := json.Marshal(sf.JSON()); err != nil {
+		t.Fatalf("simfeedback JSON does not marshal: %v", err)
+	}
+}

@@ -122,6 +122,19 @@ func (f *RTLFixer) CacheStats() memo.Stats {
 // Compiler exposes the configured persona (for examples and tests).
 func (f *RTLFixer) Compiler() compiler.Compiler { return f.compiler }
 
+// Options returns the validated configuration this fixer was built with
+// (defaults filled in), so callers that pool fixers per configuration can
+// label them.
+func (f *RTLFixer) Options() Options { return f.opts }
+
+// Lint compiles the source through the configured persona without running
+// the agent — the cheap diagnostic path (served from the compile cache
+// when Options.Cache is on). The returned Result carries the persona log
+// and the structured diagnostics.
+func (f *RTLFixer) Lint(filename, code string) compiler.Result {
+	return f.compiler.Compile(filename, code)
+}
+
 // Database returns the retrieval database, nil when RAG is off.
 func (f *RTLFixer) Database() *rag.Database { return f.db }
 

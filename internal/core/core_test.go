@@ -155,3 +155,28 @@ func TestCacheStatsZeroWhenOff(t *testing.T) {
 		t.Fatalf("cache off but stats non-zero: %+v", s)
 	}
 }
+
+func TestLintAndOptions(t *testing.T) {
+	f, err := New(Options{Seed: 1, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := f.Options()
+	if opts.CompilerName != "quartus" || opts.PersonaName != "gpt-3.5" || opts.Mode != ModeReAct {
+		t.Fatalf("Options() missing defaults: %+v", opts)
+	}
+	if res := f.Lint("main.v", paperClkExample); res.Ok {
+		t.Fatal("Lint reported the paper's broken example as clean")
+	} else if res.Log == "" {
+		t.Fatal("Lint returned no log for a failing compile")
+	}
+	if res := f.Lint("main.v", "module m;\nendmodule\n"); !res.Ok {
+		t.Fatalf("Lint rejected a clean module: %s", res.Log)
+	}
+	// Lint goes through the compile cache: a repeat is a hit.
+	before := f.CacheStats()
+	f.Lint("main.v", paperClkExample)
+	if after := f.CacheStats(); after.Hits <= before.Hits {
+		t.Fatalf("repeated Lint did not hit the compile cache: %+v -> %+v", before, after)
+	}
+}

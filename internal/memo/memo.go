@@ -168,7 +168,11 @@ func (cc *CompileCache) Len() int {
 	return n
 }
 
-func hashSource(src string) uint64 {
+// HashSource is the content address used by the memoization layer (and
+// the server's request-coalescing keys): FNV-64a over the source bytes.
+// Collisions are tolerable because every consumer keeps the source
+// alongside and compares it before trusting a match.
+func HashSource(src string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(src))
 	return h.Sum64()
@@ -253,7 +257,7 @@ func (c *cachedCompiler) InfoScore() float64 { return c.inner.InfoScore() }
 
 // Compile implements compiler.Compiler.
 func (c *cachedCompiler) Compile(filename, src string) compiler.Result {
-	key := compileKey{persona: c.inner.Name(), filename: filename, srcHash: hashSource(src)}
+	key := compileKey{persona: c.inner.Name(), filename: filename, srcHash: HashSource(src)}
 	if res, ok := c.cache.get(key, src); ok {
 		return res
 	}

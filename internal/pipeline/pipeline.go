@@ -89,6 +89,14 @@ type Config struct {
 	// the number of completed jobs and the batch size. Calls are
 	// serialized but arrive in completion order, not job order.
 	OnProgress func(done, total int)
+	// OnResult, when non-nil, is called with each job's Result as soon
+	// as that job finishes, without waiting for the rest of the batch —
+	// the hook a server needs to answer each caller at its own job's
+	// completion. Calls are serialized (under the same lock as
+	// OnProgress) and arrive in completion order; canceled jobs are
+	// reported too, with Err set. The result slice Run returns is
+	// unaffected.
+	OnResult func(Result)
 }
 
 func (c Config) workers() int {
@@ -111,20 +119,26 @@ func Run(ctx context.Context, cfg Config, jobs []Job, fn FixFunc) ([]Result, err
 	queue := make(chan int)
 	var wg sync.WaitGroup
 
-	// progress serializes OnProgress callbacks across workers. The
-	// callback runs under the mutex so invocations are truly serialized
-	// and done counts arrive in order, as Config documents; callbacks are
-	// expected to be cheap (progress display), so holding the lock across
-	// them does not throttle the pool meaningfully.
+	// deliver serializes the completion callbacks across workers. They
+	// run under the mutex so invocations are truly serialized and done
+	// counts arrive in order, as Config documents; callbacks are expected
+	// to be cheap (progress display, handing a result to a waiter), so
+	// holding the lock across them does not throttle the pool
+	// meaningfully.
 	var progressMu sync.Mutex
 	done := 0
-	progress := func() {
-		if cfg.OnProgress == nil {
+	deliver := func(r Result) {
+		if cfg.OnProgress == nil && cfg.OnResult == nil {
 			return
 		}
 		progressMu.Lock()
-		done++
-		cfg.OnProgress(done, len(jobs))
+		if cfg.OnResult != nil {
+			cfg.OnResult(r)
+		}
+		if cfg.OnProgress != nil {
+			done++
+			cfg.OnProgress(done, len(jobs))
+		}
 		progressMu.Unlock()
 	}
 
@@ -138,7 +152,7 @@ func Run(ctx context.Context, cfg Config, jobs []Job, fn FixFunc) ([]Result, err
 			defer wg.Done()
 			for i := range queue {
 				results[i] = runOne(ctx, cfg, jobs[i], i, fn)
-				progress()
+				deliver(results[i])
 			}
 		}()
 	}
@@ -156,7 +170,7 @@ feed:
 				jb := jobs[j]
 				jb.Index = j
 				results[j] = Result{Job: jb, Err: ctx.Err()}
-				progress()
+				deliver(results[j])
 			}
 			break feed
 		}

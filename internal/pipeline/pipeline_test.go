@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -376,5 +377,82 @@ func TestSummaryCarriesCacheStats(t *testing.T) {
 	want := memo.Stats{Hits: 11, Misses: 3, Evictions: 3, Lookups: 5}
 	if m.Cache != want {
 		t.Fatalf("Merge cache stats = %+v, want %+v", m.Cache, want)
+	}
+}
+
+// TestOnResultDeliversEveryJob checks the per-completion hook: every job
+// (including canceled ones) is reported exactly once, serialized, with the
+// same Result that lands in the returned slice.
+func TestOnResultDeliversEveryJob(t *testing.T) {
+	jobs := makeJobs(40, 8)
+	var mu sync.Mutex
+	seen := make(map[int]Result)
+	inHook := atomic.Int32{}
+	cfg := Config{Workers: 4, OnResult: func(r Result) {
+		if inHook.Add(1) != 1 {
+			t.Error("OnResult reentered: calls are not serialized")
+		}
+		mu.Lock()
+		if _, dup := seen[r.Job.Index]; dup {
+			t.Errorf("job %d reported twice", r.Job.Index)
+		}
+		seen[r.Job.Index] = r
+		mu.Unlock()
+		inHook.Add(-1)
+	}}
+	results, err := Run(context.Background(), cfg, jobs, synthFix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("OnResult saw %d jobs, want %d", len(seen), len(jobs))
+	}
+	for i, r := range results {
+		got := seen[i]
+		got.Elapsed = r.Elapsed
+		if !reflect.DeepEqual(got, r) {
+			t.Fatalf("job %d: OnResult saw %+v, Run returned %+v", i, got, r)
+		}
+	}
+}
+
+// TestOnResultReportsCanceledJobs verifies canceled jobs reach the hook
+// with Err set, so a server can answer their waiters.
+func TestOnResultReportsCanceledJobs(t *testing.T) {
+	jobs := makeJobs(30, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	blockingFix := func(_ context.Context, j Job) *agent.Transcript {
+		once.Do(func() { close(started) })
+		<-release
+		return synthFix(context.Background(), j)
+	}
+	var canceled, completed atomic.Int32
+	cfg := Config{Workers: 2, OnResult: func(r Result) {
+		if r.Err != nil {
+			canceled.Add(1)
+		} else {
+			completed.Add(1)
+		}
+	}}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Run(ctx, cfg, jobs, blockingFix)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Run err = %v, want context.Canceled", err)
+		}
+	}()
+	<-started
+	cancel()
+	close(release)
+	<-done
+	if got := int(canceled.Load() + completed.Load()); got != len(jobs) {
+		t.Fatalf("OnResult saw %d jobs, want %d", got, len(jobs))
+	}
+	if canceled.Load() == 0 {
+		t.Fatal("no canceled jobs reached OnResult")
 	}
 }

@@ -1,0 +1,557 @@
+// Package server is the long-running fix service: a JSON HTTP API over
+// one shared pool of core.RTLFixer instances, so the compile cache and
+// retrieval index built for one request serve every later request.
+//
+// The serving spine borrows the admission-control / event-batching /
+// continuous-monitoring shape of the DAQ systems in PAPERS.md:
+//
+//   - Bounded admission — at most MaxInFlight running plus QueueDepth
+//     waiting requests are admitted; everything beyond that is refused
+//     immediately with 429 rather than queued without bound.
+//   - Single-flight coalescing — identical (configuration, filename,
+//     source-hash, seed) requests arriving together share one agent run:
+//     a thundering herd costs one run, and every waiter gets the result.
+//   - Batched dispatch — admitted requests are collected into small
+//     batches (bounded size and linger) and fanned out through
+//     internal/pipeline workers, the same pool the offline benchmarks
+//     use; each request is answered the moment its own job completes.
+//   - Per-request deadlines — every request carries a deadline
+//     (timeout_ms, clamped to server bounds); expiry answers 504 while
+//     the non-preemptible agent run finishes in the background and still
+//     warms the cache.
+//   - Graceful drain — BeginDrain refuses new work with 503 while
+//     admitted requests run to completion; Drain waits for them.
+//
+// Endpoints: POST /v1/fix, POST /v1/lint, GET /v1/healthz, GET /v1/stats.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/diag"
+)
+
+// Config tunes the service. The zero value is usable: every field has a
+// serving-sensible default.
+type Config struct {
+	// Seed is the base seed shared by every pooled fixer; a request's
+	// own seed selects the problem instance (core.RTLFixer.Fix's
+	// sampleSeed), so one daemon is reproducible end to end.
+	Seed int64
+	// MaxInFlight bounds concurrently running fix requests; <= 0 means
+	// 2 x NumCPU.
+	MaxInFlight int
+	// QueueDepth bounds admitted-but-waiting fix requests beyond
+	// MaxInFlight; < 0 means 0, 0 means the default 64.
+	QueueDepth int
+	// MaxBatch bounds how many queued requests one dispatch batch may
+	// carry; <= 0 means MaxInFlight.
+	MaxBatch int
+	// BatchLinger is how long the dispatcher waits to fill a batch after
+	// its first request arrives; <= 0 means 2ms.
+	BatchLinger time.Duration
+	// Workers sizes the pipeline pool each batch fans out over; <= 0
+	// means NumCPU.
+	Workers int
+	// DefaultTimeout applies when a request carries no timeout_ms;
+	// <= 0 means 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request deadlines; <= 0 means 2m.
+	MaxTimeout time.Duration
+	// MaxSourceBytes bounds request source size; <= 0 means 1 MiB.
+	MaxSourceBytes int
+	// DisableCoalesce turns off single-flight coalescing (for A/B load
+	// tests; every request then runs its own agent loop).
+	DisableCoalesce bool
+	// DisableCache builds the pooled fixers without the memo layer.
+	DisableCache bool
+	// Logf, when non-nil, receives one line per lifecycle event
+	// (start/drain) — never one per request.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.NumCPU()
+	}
+	switch {
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	case c.QueueDepth == 0:
+		c.QueueDepth = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = c.MaxInFlight
+	}
+	if c.BatchLinger <= 0 {
+		c.BatchLinger = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// fixerKey identifies one pooled fixer configuration.
+type fixerKey struct {
+	compiler string
+	persona  string
+	mode     core.Mode
+	rag      bool
+	iters    int
+}
+
+// Server is the fix service. It implements http.Handler; wire it into an
+// http.Server (cmd/rtlfixerd does) or httptest (the tests do).
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+	st    serverStats
+
+	// fixers pools one core.RTLFixer per configuration, lazily built, so
+	// every request against the same configuration shares its compile
+	// cache and retrieval index.
+	fixersMu sync.Mutex
+	fixers   map[fixerKey]*core.RTLFixer
+
+	// Admission + dispatch state lives in dispatch.go.
+	admitMu  sync.RWMutex // guards draining and sends into queue
+	draining bool
+	queue    chan *flight
+	admitted chan struct{} // capacity = MaxInFlight + QueueDepth
+	runSlots chan struct{} // capacity = MaxInFlight: bounds executing runs
+	batchWG  sync.WaitGroup
+
+	flightsMu sync.Mutex
+	flights   map[flightKey]*flight
+	flightWG  sync.WaitGroup
+
+	stop           chan struct{} // closed by Close: cancels queued work
+	stopOnce       sync.Once
+	queueCloseOnce sync.Once
+	dispatcherDone chan struct{}
+
+	// testHook, when non-nil, runs at the start of every agent run (test
+	// seam for blocking runs; set before serving traffic).
+	testHook func(f *flight)
+}
+
+// New builds and starts a server (its dispatcher goroutine runs until
+// Close or Drain).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:            cfg,
+		start:          time.Now(),
+		fixers:         map[fixerKey]*core.RTLFixer{},
+		queue:          make(chan *flight, cfg.MaxInFlight+cfg.QueueDepth),
+		admitted:       make(chan struct{}, cfg.MaxInFlight+cfg.QueueDepth),
+		runSlots:       make(chan struct{}, cfg.MaxInFlight),
+		flights:        map[flightKey]*flight{},
+		stop:           make(chan struct{}),
+		dispatcherDone: make(chan struct{}),
+	}
+	s.st.init()
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/fix", s.handleFix)
+	s.mux.HandleFunc("/v1/lint", s.handleLint)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	go s.dispatch()
+	return s
+}
+
+// ServeHTTP implements http.Handler, recording per-status counters.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rec := &statusRecorder{ResponseWriter: w}
+	s.mux.ServeHTTP(rec, r)
+	s.st.countStatus(rec.code())
+}
+
+// statusRecorder captures the response status for the stats counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) code() int {
+	if r.status == 0 {
+		return http.StatusOK
+	}
+	return r.status
+}
+
+// fixRequest is the POST /v1/fix (and, minus the agent fields, /v1/lint)
+// body. Omitted fields take the documented defaults.
+type fixRequest struct {
+	// Source is the erroneous Verilog (required).
+	Source string `json:"source"`
+	// Filename appears in compiler logs; default "main.v".
+	Filename string `json:"filename"`
+	// Compiler is the feedback persona; default "quartus".
+	Compiler string `json:"compiler"`
+	// Persona is the simulated LLM; default "gpt-3.5".
+	Persona string `json:"persona"`
+	// Mode is "react" or "one-shot"; default "react".
+	Mode string `json:"mode"`
+	// RAG consults the retrieval database; default true.
+	RAG *bool `json:"rag"`
+	// MaxIterations bounds ReAct revisions; 0 = the paper's 10.
+	MaxIterations int `json:"max_iterations"`
+	// Seed selects the problem instance (sampleSeed); default 1.
+	Seed *int64 `json:"seed"`
+	// TimeoutMS is the request deadline; 0 = server default.
+	TimeoutMS int64 `json:"timeout_ms"`
+	// Transcript asks for the rendered ReAct transcript in the response.
+	Transcript bool `json:"transcript"`
+}
+
+// fixResponse is the POST /v1/fix success body.
+type fixResponse struct {
+	Success    bool     `json:"success"`
+	Iterations int      `json:"iterations"`
+	FinalCode  string   `json:"final_code"`
+	FixerRules []string `json:"fixer_rules,omitempty"`
+	// Coalesced is true when this response was served by a run another
+	// request started.
+	Coalesced bool `json:"coalesced"`
+	// ElapsedMS is the agent run's wall-clock time (shared by every
+	// coalesced waiter), not the request's queueing time.
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	Transcript string  `json:"transcript,omitempty"`
+}
+
+// lintResponse is the POST /v1/lint success body.
+type lintResponse struct {
+	Ok     bool   `json:"ok"`
+	Log    string `json:"log"`
+	Errors int    `json:"errors"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeFixerError distinguishes a bad configuration (client error) from
+// an exhausted fixer pool (server-side bound).
+func writeFixerError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errFixerPoolFull) {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
+}
+
+// decodeFixRequest parses and validates a request body, applying
+// defaults. A nil error means req is servable.
+func (s *Server) decodeFixRequest(w http.ResponseWriter, r *http.Request) (*fixRequest, bool) {
+	// JSON escaping inflates the wire form (\n, \", \\ are two bytes
+	// each), so allow the body twice the source budget plus envelope
+	// slack; the exact check below is on the decoded source length.
+	body := http.MaxBytesReader(w, r.Body, 2*int64(s.cfg.MaxSourceBytes)+8192)
+	var req fixRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", s.cfg.MaxSourceBytes)
+		} else {
+			writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		}
+		return nil, false
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		writeError(w, http.StatusBadRequest, "source is required")
+		return nil, false
+	}
+	if len(req.Source) > s.cfg.MaxSourceBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "source over %d bytes", s.cfg.MaxSourceBytes)
+		return nil, false
+	}
+	if req.Filename == "" {
+		req.Filename = "main.v"
+	}
+	if req.Compiler == "" {
+		req.Compiler = "quartus"
+	}
+	if req.Persona == "" {
+		req.Persona = "gpt-3.5"
+	}
+	if req.Mode == "" {
+		req.Mode = string(core.ModeReAct)
+	}
+	if req.Mode != string(core.ModeReAct) && req.Mode != string(core.ModeOneShot) {
+		writeError(w, http.StatusBadRequest, "mode must be %q or %q", core.ModeReAct, core.ModeOneShot)
+		return nil, false
+	}
+	if req.MaxIterations < 0 || req.MaxIterations > maxRequestIterations {
+		writeError(w, http.StatusBadRequest, "max_iterations must be in [0, %d]", maxRequestIterations)
+		return nil, false
+	}
+	if req.MaxIterations == 0 {
+		// Normalize to the effective default so "omitted" and "10" share
+		// one pooled fixer and coalesce together.
+		req.MaxIterations = agent.DefaultMaxIterations
+	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "timeout_ms must be >= 0")
+		return nil, false
+	}
+	return &req, true
+}
+
+func (r *fixRequest) rag() bool {
+	if r.RAG == nil {
+		return true
+	}
+	return *r.RAG
+}
+
+func (r *fixRequest) seed() int64 {
+	if r.Seed == nil {
+		return 1
+	}
+	return *r.Seed
+}
+
+func (r *fixRequest) key() fixerKey {
+	return fixerKey{
+		compiler: r.Compiler,
+		persona:  r.Persona,
+		mode:     core.Mode(r.Mode),
+		rag:      r.rag(),
+		iters:    r.MaxIterations,
+	}
+}
+
+// timeout clamps the request deadline to server bounds.
+func (s *Server) timeout(req *fixRequest) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		d = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// Request-surface bounds on the fixer pool. Every field of fixerKey is
+// client-controlled, so both the key space (iterations clamp) and the
+// pool itself are capped — otherwise a request sweep could allocate one
+// compile cache + retrieval index per distinct configuration, forever.
+const (
+	maxRequestIterations = 100
+	maxFixerConfigs      = 64
+)
+
+// errFixerPoolFull maps to 503 in the handlers.
+var errFixerPoolFull = errors.New("fixer pool full: too many distinct configurations")
+
+// fixerFor returns the pooled fixer for a configuration, building it on
+// first use. The pool is the point of the daemon: every request against
+// the same configuration shares one compile cache and retrieval index.
+func (s *Server) fixerFor(key fixerKey) (*core.RTLFixer, error) {
+	s.fixersMu.Lock()
+	defer s.fixersMu.Unlock()
+	if f, ok := s.fixers[key]; ok {
+		return f, nil
+	}
+	if len(s.fixers) >= maxFixerConfigs {
+		return nil, errFixerPoolFull
+	}
+	f, err := core.New(core.Options{
+		CompilerName:  key.compiler,
+		PersonaName:   key.persona,
+		RAG:           key.rag,
+		Mode:          key.mode,
+		MaxIterations: key.iters,
+		Seed:          s.cfg.Seed,
+		Cache:         !s.cfg.DisableCache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.fixers[key] = f
+	return f, nil
+}
+
+// Fixers reports how many distinct configurations the pool holds.
+func (s *Server) Fixers() int {
+	s.fixersMu.Lock()
+	defer s.fixersMu.Unlock()
+	return len(s.fixers)
+}
+
+// handleFix serves POST /v1/fix: admit, coalesce, dispatch, wait.
+func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
+	s.st.fixRequests.Inc()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	started := time.Now()
+	req, ok := s.decodeFixRequest(w, r)
+	if !ok {
+		return
+	}
+	fixer, err := s.fixerFor(req.key())
+	if err != nil {
+		writeFixerError(w, err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req))
+	defer cancel()
+
+	f, coalesced, err := s.joinOrLead(ctx, req, fixer)
+	if err != nil {
+		switch {
+		case errors.Is(err, errDraining):
+			s.st.rejectedDraining.Inc()
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+		case errors.Is(err, errQueueFull):
+			s.st.rejectedQueueFull.Inc()
+			writeError(w, http.StatusTooManyRequests, "admission queue full (%d in flight + %d queued)",
+				s.cfg.MaxInFlight, s.cfg.QueueDepth)
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	if coalesced {
+		s.st.coalesced.Inc()
+	}
+
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		s.st.deadlineExpired.Inc()
+		s.st.fixLatency.Observe(msSince(started))
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %v", s.timeout(req))
+		return
+	}
+
+	s.st.fixLatency.Observe(msSince(started))
+	switch {
+	case f.err != nil:
+		writeError(w, http.StatusServiceUnavailable, "run canceled: %v", f.err)
+	case f.tr == nil:
+		// The leader's deadline expired before the run started, so the
+		// batch skipped it; this waiter raced the same fate.
+		s.st.deadlineExpired.Inc()
+		writeError(w, http.StatusGatewayTimeout, "coalesced run expired before starting")
+	default:
+		resp := fixResponse{
+			Success:    f.tr.Success,
+			Iterations: f.tr.Iterations,
+			FinalCode:  f.tr.FinalCode,
+			FixerRules: f.tr.FixerRules,
+			Coalesced:  coalesced,
+			ElapsedMS:  float64(f.elapsed) / float64(time.Millisecond),
+		}
+		if req.Transcript {
+			resp.Transcript = f.tr.Render()
+		}
+		if f.tr.Success {
+			s.st.fixOK.Inc()
+		} else {
+			s.st.fixFailed.Inc()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// handleLint serves POST /v1/lint: one compile, no agent, no queue (a
+// lint is a single frontend pass — orders of magnitude cheaper than a fix
+// run, and served from the shared compile cache on repeats).
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	s.st.lintRequests.Inc()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	started := time.Now()
+	req, ok := s.decodeFixRequest(w, r)
+	if !ok {
+		return
+	}
+	fixer, err := s.fixerFor(req.key())
+	if err != nil {
+		writeFixerError(w, err)
+		return
+	}
+	res := fixer.Lint(req.Filename, req.Source)
+	errs := 0
+	for _, d := range res.Diags {
+		if d.Severity == diag.SeverityError {
+			errs++
+		}
+	}
+	s.st.lintLatency.Observe(msSince(started))
+	writeJSON(w, http.StatusOK, lintResponse{Ok: res.Ok, Log: res.Log, Errors: errs})
+}
+
+// handleHealthz serves GET /v1/healthz; a draining server answers 503 so
+// load balancers stop routing to it.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.st.healthzRequests.Inc()
+	if s.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": msSince(s.start),
+	})
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

@@ -1,0 +1,562 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// brokenSource is the paper's Fig. 5 example (posedge clk, no clk port):
+// fixable by the default ReAct + RAG + Quartus configuration.
+const brokenSource = `module top_module (
+	input [99:0] in,
+	output reg [99:0] out
+);
+	always @(posedge clk) begin
+		for (int i = 0; i < 100; i = i + 1) begin
+			out[i] <= in[99 - i];
+		end
+	end
+endmodule
+`
+
+const cleanSource = "module m;\nendmodule\n"
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postFix(t *testing.T, url string, body map[string]any) (int, map[string]any) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/fix", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var out map[string]any
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("non-JSON response (%d): %s", resp.StatusCode, raw)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+func TestFixEndpointFixesPaperExample(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, out := postFix(t, ts.URL, map[string]any{"source": brokenSource, "transcript": true})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %v", status, out)
+	}
+	if out["success"] != true {
+		t.Fatalf("fix did not succeed: %v", out)
+	}
+	if out["final_code"] == "" || out["transcript"] == "" {
+		t.Fatal("missing final_code or transcript")
+	}
+	if out["coalesced"] != false {
+		t.Fatal("singleton request reported coalesced")
+	}
+}
+
+func TestFixDeterministicAcrossRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, first := postFix(t, ts.URL, map[string]any{"source": brokenSource})
+	_, second := postFix(t, ts.URL, map[string]any{"source": brokenSource})
+	if first["final_code"] != second["final_code"] || first["iterations"] != second["iterations"] {
+		t.Fatal("same request, different outcome across sequential calls")
+	}
+}
+
+func TestLintEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		source string
+		ok     bool
+	}{{cleanSource, true}, {brokenSource, false}} {
+		data, _ := json.Marshal(map[string]any{"source": tc.source})
+		resp, err := http.Post(ts.URL+"/v1/lint", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out lintResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || out.Ok != tc.ok {
+			t.Fatalf("lint(%q...) = %d %+v, want ok=%v", tc.source[:10], resp.StatusCode, out, tc.ok)
+		}
+		if !tc.ok && (out.Log == "" || out.Errors == 0) {
+			t.Fatalf("failing lint carries no diagnostics: %+v", out)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body map[string]any
+		want int
+	}{
+		{"empty source", map[string]any{"source": " "}, http.StatusBadRequest},
+		{"unknown compiler", map[string]any{"source": cleanSource, "compiler": "vcs"}, http.StatusBadRequest},
+		{"unknown persona", map[string]any{"source": cleanSource, "persona": "gpt-9"}, http.StatusBadRequest},
+		{"bad mode", map[string]any{"source": cleanSource, "mode": "zero-shot"}, http.StatusBadRequest},
+		{"negative timeout", map[string]any{"source": cleanSource, "timeout_ms": -5}, http.StatusBadRequest},
+		{"unknown field", map[string]any{"source": cleanSource, "sourcecode": "x"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if status, out := postFix(t, ts.URL, tc.body); status != tc.want {
+			t.Errorf("%s: status = %d (%v), want %d", tc.name, status, out, tc.want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/fix = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestCoalescing is the thundering-herd contract: N identical concurrent
+// requests cost one agent run, and every caller gets the same answer.
+func TestCoalescing(t *testing.T) {
+	const n = 8
+	s, ts := newTestServer(t, Config{MaxInFlight: 2, Workers: 2})
+	release := make(chan struct{})
+	s.testHook = func(*flight) { <-release }
+
+	var wg sync.WaitGroup
+	type reply struct {
+		status int
+		body   map[string]any
+	}
+	replies := make([]reply, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, out := postFix(t, ts.URL, map[string]any{"source": brokenSource})
+			replies[i] = reply{st, out}
+		}(i)
+	}
+
+	// Wait until every follower has joined the (hook-blocked) leader.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.st.coalesced.Value() < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests coalesced", s.st.coalesced.Value(), n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if runs := s.st.agentRuns.Value(); runs != 1 {
+		t.Fatalf("agent runs = %d, want 1 for %d identical requests", runs, n)
+	}
+	for i, r := range replies {
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d (%v)", i, r.status, r.body)
+		}
+		if r.body["final_code"] != replies[0].body["final_code"] ||
+			r.body["success"] != replies[0].body["success"] {
+			t.Fatalf("request %d got a different answer", i)
+		}
+	}
+	if s.Stats().Fix.Coalesced != n-1 {
+		t.Fatalf("stats report %d coalesced, want %d", s.Stats().Fix.Coalesced, n-1)
+	}
+}
+
+// TestAdmissionOverflow is the bounded-admission contract: once
+// MaxInFlight + QueueDepth requests are admitted, the next one is
+// refused immediately with 429.
+func TestAdmissionOverflow(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		MaxInFlight: 1, QueueDepth: -1, MaxBatch: 1, Workers: 1,
+		DisableCoalesce: true,
+	})
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	s.testHook = func(*flight) {
+		entered <- struct{}{}
+		<-release
+	}
+	defer close(release)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		status, out := postFix(t, ts.URL, map[string]any{"source": brokenSource, "seed": 1})
+		if status != http.StatusOK {
+			t.Errorf("admitted request finished %d (%v), want 200", status, out)
+		}
+	}()
+	<-entered // the slot is occupied and running
+
+	status, out := postFix(t, ts.URL, map[string]any{"source": brokenSource, "seed": 2})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("overflow request = %d (%v), want 429", status, out)
+	}
+	if s.st.rejectedQueueFull.Value() != 1 {
+		t.Fatalf("rejectedQueueFull = %d, want 1", s.st.rejectedQueueFull.Value())
+	}
+}
+
+// TestDeadlineExpiry: a request whose deadline passes mid-run gets a
+// clean 504 while the non-preemptible run finishes in the background.
+func TestDeadlineExpiry(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1, Workers: 1})
+	release := make(chan struct{})
+	s.testHook = func(*flight) { <-release }
+
+	start := time.Now()
+	status, out := postFix(t, ts.URL, map[string]any{"source": brokenSource, "timeout_ms": 80})
+	waited := time.Since(start)
+	close(release)
+
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%v), want 504", status, out)
+	}
+	if waited > 5*time.Second {
+		t.Fatalf("504 took %v; deadline did not cut the wait", waited)
+	}
+	if s.st.deadlineExpired.Value() == 0 {
+		t.Fatal("deadlineExpired counter not incremented")
+	}
+	// The abandoned run still completes and releases its admission slot:
+	// a follow-up request must succeed.
+	if status, out := postFix(t, ts.URL, map[string]any{"source": cleanSource}); status != http.StatusOK {
+		t.Fatalf("post-timeout request = %d (%v), want 200", status, out)
+	}
+}
+
+// TestGracefulDrain: after BeginDrain (what SIGTERM triggers in
+// rtlfixerd), new work is refused with 503 but admitted requests run to
+// completion, and Drain returns once they have.
+func TestGracefulDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 2, Workers: 1})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.testHook = func(*flight) {
+		entered <- struct{}{}
+		<-release
+	}
+
+	inFlight := make(chan struct {
+		status int
+		body   map[string]any
+	}, 1)
+	go func() {
+		st, out := postFix(t, ts.URL, map[string]any{"source": brokenSource})
+		inFlight <- struct {
+			status int
+			body   map[string]any
+		}{st, out}
+	}()
+	<-entered // the request is mid-run
+
+	s.BeginDrain()
+	if status, _ := postFix(t, ts.URL, map[string]any{"source": cleanSource}); status != http.StatusServiceUnavailable {
+		t.Fatalf("fix during drain = %d, want 503", status)
+	}
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain = %d, want 503", resp.StatusCode)
+	}
+
+	close(release)
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	r := <-inFlight
+	if r.status != http.StatusOK || r.body["success"] != true {
+		t.Fatalf("in-flight request after SIGTERM = %d (%v), want a completed 200", r.status, r.body)
+	}
+}
+
+// TestBatchedDispatch: requests arriving together are dispatched as one
+// pipeline batch, not one batch each.
+func TestBatchedDispatch(t *testing.T) {
+	const n = 6
+	s, ts := newTestServer(t, Config{
+		MaxInFlight: n, MaxBatch: n, Workers: n,
+		BatchLinger:     200 * time.Millisecond,
+		DisableCoalesce: true, // distinct flights so the batch carries n jobs
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if st, out := postFix(t, ts.URL, map[string]any{"source": brokenSource, "seed": i + 1}); st != http.StatusOK {
+				t.Errorf("request %d: %d (%v)", i, st, out)
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := s.Stats()
+	if snap.Dispatch.BatchedJobs != n {
+		t.Fatalf("batched jobs = %d, want %d", snap.Dispatch.BatchedJobs, n)
+	}
+	if snap.Dispatch.MaxBatch < 2 {
+		t.Fatalf("max batch = %d; concurrent requests were never batched", snap.Dispatch.MaxBatch)
+	}
+}
+
+func TestStatsEndpointShape(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postFix(t, ts.URL, map[string]any{"source": brokenSource})
+	postFix(t, ts.URL, map[string]any{"source": brokenSource})
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	var snap StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("stats body is not the snapshot shape: %v", err)
+	}
+	if snap.Requests.Fix != 2 {
+		t.Fatalf("fix requests = %d, want 2", snap.Requests.Fix)
+	}
+	if snap.LatencyFixMS.Count != 2 {
+		t.Fatalf("fix latency count = %d, want 2", snap.LatencyFixMS.Count)
+	}
+	if snap.Fix.AgentRuns == 0 || snap.Fixers != 1 {
+		t.Fatalf("run/fixer accounting off: %+v", snap.Fix)
+	}
+	// Identical sequential requests share the pooled fixer's compile
+	// cache; the second one must have produced hits.
+	if snap.Cache.Hits == 0 {
+		t.Fatal("second identical request produced no cache hits")
+	}
+}
+
+// TestFixerPoolSharesConfigurations: distinct configurations get distinct
+// fixers; repeats reuse them.
+func TestFixerPoolSharesConfigurations(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	postFix(t, ts.URL, map[string]any{"source": cleanSource})
+	postFix(t, ts.URL, map[string]any{"source": cleanSource})
+	postFix(t, ts.URL, map[string]any{"source": cleanSource, "compiler": "iverilog"})
+	postFix(t, ts.URL, map[string]any{"source": cleanSource, "mode": "one-shot"})
+	if got := s.Fixers(); got != 3 {
+		t.Fatalf("fixer pool holds %d configurations, want 3", got)
+	}
+}
+
+func TestCloseAnswersQueuedWaiters(t *testing.T) {
+	s := New(Config{MaxInFlight: 4, Workers: 1, Seed: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	s.testHook = func(*flight) {
+		entered <- struct{}{}
+		<-release
+	}
+	var wg sync.WaitGroup
+	statuses := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], _ = postFix(t, ts.URL, map[string]any{"source": brokenSource, "seed": 100 + i})
+		}(i)
+	}
+	<-entered // at least one job is mid-run
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release) // let running jobs finish; Close cancels unstarted ones
+	}()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, st := range statuses {
+		if st != http.StatusOK && st != http.StatusServiceUnavailable {
+			t.Errorf("request %d finished %d, want 200 or 503", i, st)
+		}
+	}
+}
+
+func TestRequestSizeLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSourceBytes: 512})
+	big := fmt.Sprintf("module m;\n// %s\nendmodule\n", bytes.Repeat([]byte("x"), 1024))
+	status, _ := postFix(t, ts.URL, map[string]any{"source": big})
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize source = %d, want 413", status)
+	}
+}
+
+// TestFollowerSurvivesLeaderTimeout: coalescing must be transparent — a
+// follower with a healthy deadline keeps the flight alive and gets its
+// answer even after the leader's deadline expired before the run
+// started.
+func TestFollowerSurvivesLeaderTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1, Workers: 2, MaxBatch: 1})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	s.testHook = func(f *flight) {
+		if f.filename == "occupier.v" {
+			entered <- struct{}{}
+			<-release
+		}
+	}
+
+	// Occupy the single run slot so the leader's flight stays queued
+	// past its deadline.
+	occupier := make(chan int, 1)
+	go func() {
+		st, _ := postFix(t, ts.URL, map[string]any{"source": cleanSource, "filename": "occupier.v"})
+		occupier <- st
+	}()
+	<-entered
+
+	// Leader: identical herd source, deadline that expires while queued.
+	leader := make(chan int, 1)
+	go func() {
+		st, _ := postFix(t, ts.URL, map[string]any{"source": brokenSource, "timeout_ms": 60})
+		leader <- st
+	}()
+	if st := <-leader; st != http.StatusGatewayTimeout {
+		t.Fatalf("leader = %d, want 504 (deadline expired while queued)", st)
+	}
+
+	// Follower joins the still-queued flight with a healthy deadline.
+	follower := make(chan struct {
+		status int
+		body   map[string]any
+	}, 1)
+	go func() {
+		st, out := postFix(t, ts.URL, map[string]any{"source": brokenSource})
+		follower <- struct {
+			status int
+			body   map[string]any
+		}{st, out}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.st.coalesced.Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never joined the leader's flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(release)
+	if st := <-occupier; st != http.StatusOK {
+		t.Fatalf("occupier = %d, want 200", st)
+	}
+	r := <-follower
+	if r.status != http.StatusOK || r.body["success"] != true {
+		t.Fatalf("follower = %d (%v), want a successful 200: the leader's timeout must not kill the flight", r.status, r.body)
+	}
+	if s.st.expiredBeforeRun.Value() != 0 {
+		t.Fatalf("flight was skipped (%d expiredBeforeRun) despite a live follower", s.st.expiredBeforeRun.Value())
+	}
+}
+
+// TestNoHeadOfLineBlockingAcrossBatches: a fast request dispatched after
+// a slow one (in a different batch) must complete while the slow run is
+// still executing.
+func TestNoHeadOfLineBlockingAcrossBatches(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 2, Workers: 2, MaxBatch: 1, DisableCoalesce: true})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	s.testHook = func(f *flight) {
+		if f.filename == "slow.v" {
+			entered <- struct{}{}
+			<-release
+		}
+	}
+	defer close(release)
+
+	slow := make(chan int, 1)
+	go func() {
+		st, _ := postFix(t, ts.URL, map[string]any{"source": brokenSource, "filename": "slow.v"})
+		slow <- st
+	}()
+	<-entered // the slow run occupies its batch
+
+	start := time.Now()
+	st, out := postFix(t, ts.URL, map[string]any{"source": cleanSource, "filename": "fast.v"})
+	if st != http.StatusOK {
+		t.Fatalf("fast request behind a slow batch = %d (%v), want 200", st, out)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("fast request waited %v behind the slow batch", waited)
+	}
+	select {
+	case <-slow:
+		t.Fatal("slow request finished before the fast one was measured — test setup broken")
+	default:
+	}
+}
+
+// TestFixerPoolBounded: the pool of per-configuration fixers is capped,
+// so a client sweeping max_iterations cannot leak unbounded caches.
+func TestFixerPoolBounded(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	full := 0
+	for i := 1; i <= maxFixerConfigs+5; i++ {
+		st, out := postFix(t, ts.URL, map[string]any{"source": cleanSource, "max_iterations": i})
+		switch st {
+		case http.StatusOK:
+		case http.StatusServiceUnavailable:
+			full++
+			if msg, _ := out["error"].(string); !strings.Contains(msg, "fixer pool full") {
+				t.Fatalf("503 with unexpected body: %v", out)
+			}
+		default:
+			t.Fatalf("sweep request %d = %d (%v)", i, st, out)
+		}
+	}
+	if full != 5 {
+		t.Fatalf("%d requests refused, want 5 beyond the %d-config cap", full, maxFixerConfigs)
+	}
+	if got := s.Fixers(); got != maxFixerConfigs {
+		t.Fatalf("pool holds %d configs, want the cap %d", got, maxFixerConfigs)
+	}
+	// Over-limit iterations are a 400, keeping the key space finite.
+	if st, _ := postFix(t, ts.URL, map[string]any{"source": cleanSource, "max_iterations": maxRequestIterations + 1}); st != http.StatusBadRequest {
+		t.Fatalf("max_iterations over the clamp = %d, want 400", st)
+	}
+}

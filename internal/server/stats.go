@@ -1,0 +1,199 @@
+// Live metrics for the fix service, surfaced at GET /v1/stats: request
+// and status counters, fix/lint latency histograms (internal/metrics),
+// queue and in-flight gauges, dispatch batching figures, and the
+// process-wide memoization counters (memo.Totals). Everything is cheap
+// atomics — the monitoring plane never contends with the serving plane.
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/memo"
+	"repro/internal/metrics"
+)
+
+// statusCodes are the statuses the service can emit; anything else lands
+// in the "other" bucket.
+var statusCodes = []int{200, 400, 404, 405, 413, 429, 500, 503, 504}
+
+// serverStats holds every live counter. Fields are written with atomics;
+// Snapshot reads are not a consistent cut across fields (each field is
+// individually exact), which is fine for monitoring.
+type serverStats struct {
+	fixRequests     metrics.Counter
+	lintRequests    metrics.Counter
+	healthzRequests metrics.Counter
+	statsRequests   metrics.Counter
+
+	status      map[int]*metrics.Counter
+	statusOther metrics.Counter
+
+	fixOK             metrics.Counter
+	fixFailed         metrics.Counter
+	coalesced         metrics.Counter
+	agentRuns         metrics.Counter
+	expiredBeforeRun  metrics.Counter
+	deadlineExpired   metrics.Counter
+	rejectedQueueFull metrics.Counter
+	rejectedDraining  metrics.Counter
+
+	batches     metrics.Counter
+	batchedJobs metrics.Counter
+	maxBatch    atomic.Int64
+
+	queueDepth metrics.Gauge
+	inFlight   metrics.Gauge
+
+	fixLatency  *metrics.Histogram
+	lintLatency *metrics.Histogram
+}
+
+func (st *serverStats) init() {
+	st.status = make(map[int]*metrics.Counter, len(statusCodes))
+	for _, code := range statusCodes {
+		st.status[code] = &metrics.Counter{}
+	}
+	st.fixLatency = metrics.NewLatencyHistogram()
+	st.lintLatency = metrics.NewLatencyHistogram()
+}
+
+func (st *serverStats) countStatus(code int) {
+	if c, ok := st.status[code]; ok {
+		c.Inc()
+		return
+	}
+	st.statusOther.Inc()
+}
+
+// recordBatchSize keeps a running maximum of dispatch batch sizes.
+func (st *serverStats) recordBatchSize(n int) {
+	for {
+		cur := st.maxBatch.Load()
+		if int64(n) <= cur || st.maxBatch.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// StatsSnapshot is the GET /v1/stats response body.
+type StatsSnapshot struct {
+	UptimeMS float64 `json:"uptime_ms"`
+
+	Requests struct {
+		Fix     uint64 `json:"fix"`
+		Lint    uint64 `json:"lint"`
+		Healthz uint64 `json:"healthz"`
+		Stats   uint64 `json:"stats"`
+	} `json:"requests"`
+
+	// Status maps HTTP status code (as a string, for JSON) to count.
+	Status map[string]uint64 `json:"status"`
+
+	Fix struct {
+		OK                uint64 `json:"ok"`
+		Failed            uint64 `json:"failed"`
+		Coalesced         uint64 `json:"coalesced"`
+		AgentRuns         uint64 `json:"agent_runs"`
+		ExpiredBeforeRun  uint64 `json:"expired_before_run"`
+		DeadlineExpired   uint64 `json:"deadline_expired"`
+		RejectedQueueFull uint64 `json:"rejected_queue_full"`
+		RejectedDraining  uint64 `json:"rejected_draining"`
+	} `json:"fix"`
+
+	Dispatch struct {
+		Batches     uint64  `json:"batches"`
+		BatchedJobs uint64  `json:"batched_jobs"`
+		MaxBatch    int64   `json:"max_batch"`
+		MeanBatch   float64 `json:"mean_batch"`
+	} `json:"dispatch"`
+
+	Queue struct {
+		Depth       int64 `json:"depth"`
+		InFlight    int64 `json:"in_flight"`
+		MaxInFlight int   `json:"max_in_flight"`
+		QueueDepth  int   `json:"queue_depth"`
+		Draining    bool  `json:"draining"`
+	} `json:"queue"`
+
+	// Fixers is the number of distinct pooled configurations.
+	Fixers int `json:"fixers"`
+
+	LatencyFixMS  metrics.HistogramSnapshot `json:"latency_fix_ms"`
+	LatencyLintMS metrics.HistogramSnapshot `json:"latency_lint_ms"`
+
+	// Cache mirrors memo.Totals(): the process-wide compile-cache and
+	// retrieval-index counters behind every pooled fixer.
+	Cache struct {
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Evictions uint64 `json:"evictions"`
+		Lookups   uint64 `json:"lookups"`
+	} `json:"cache"`
+}
+
+// Stats snapshots the live counters (also what /v1/stats serves).
+func (s *Server) Stats() StatsSnapshot {
+	st := &s.st
+	var snap StatsSnapshot
+	snap.UptimeMS = msSince(s.start)
+
+	snap.Requests.Fix = st.fixRequests.Value()
+	snap.Requests.Lint = st.lintRequests.Value()
+	snap.Requests.Healthz = st.healthzRequests.Value()
+	snap.Requests.Stats = st.statsRequests.Value()
+
+	snap.Status = make(map[string]uint64)
+	for _, code := range statusCodes {
+		if v := st.status[code].Value(); v > 0 {
+			snap.Status[strconv.Itoa(code)] = v
+		}
+	}
+	if v := st.statusOther.Value(); v > 0 {
+		snap.Status["other"] = v
+	}
+
+	snap.Fix.OK = st.fixOK.Value()
+	snap.Fix.Failed = st.fixFailed.Value()
+	snap.Fix.Coalesced = st.coalesced.Value()
+	snap.Fix.AgentRuns = st.agentRuns.Value()
+	snap.Fix.ExpiredBeforeRun = st.expiredBeforeRun.Value()
+	snap.Fix.DeadlineExpired = st.deadlineExpired.Value()
+	snap.Fix.RejectedQueueFull = st.rejectedQueueFull.Value()
+	snap.Fix.RejectedDraining = st.rejectedDraining.Value()
+
+	snap.Dispatch.Batches = st.batches.Value()
+	snap.Dispatch.BatchedJobs = st.batchedJobs.Value()
+	snap.Dispatch.MaxBatch = st.maxBatch.Load()
+	if b := snap.Dispatch.Batches; b > 0 {
+		snap.Dispatch.MeanBatch = float64(snap.Dispatch.BatchedJobs) / float64(b)
+	}
+
+	snap.Queue.Depth = st.queueDepth.Value()
+	snap.Queue.InFlight = st.inFlight.Value()
+	snap.Queue.MaxInFlight = s.cfg.MaxInFlight
+	snap.Queue.QueueDepth = s.cfg.QueueDepth
+	snap.Queue.Draining = s.isDraining()
+
+	snap.Fixers = s.Fixers()
+	snap.LatencyFixMS = st.fixLatency.Snapshot()
+	snap.LatencyLintMS = st.lintLatency.Snapshot()
+
+	t := memo.Totals()
+	snap.Cache.Hits = t.Hits
+	snap.Cache.Misses = t.Misses
+	snap.Cache.Evictions = t.Evictions
+	snap.Cache.Lookups = t.Lookups
+	return snap
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.st.statsRequests.Inc()
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,176 @@
+// Direct unit tests for testbench.go: vector construction, golden-model
+// adaptation, cycle accounting, and mismatch reporting. (sim_test.go
+// covers RunTestbench end-to-end on counters; these tests pin down the
+// testbench contract itself.)
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// fixedGolden returns constant outputs, making mismatch positions fully
+// predictable.
+type fixedGolden struct {
+	out    map[string]bitvec.Vec
+	resets int
+	steps  int
+}
+
+func (g *fixedGolden) Reset() { g.resets++ }
+func (g *fixedGolden) Step(map[string]bitvec.Vec) map[string]bitvec.Vec {
+	g.steps++
+	return g.out
+}
+
+const wireSrc = `
+module wires(input [3:0] a, output [3:0] y, output [3:0] z);
+	assign y = a;
+	assign z = ~a;
+endmodule`
+
+func vec4(v uint64) bitvec.Vec { return bitvec.FromUint64(4, v) }
+
+func TestTestbenchResetsGoldenAndCountsCycles(t *testing.T) {
+	d := buildDesign(t, wireSrc)
+	g := &fixedGolden{out: map[string]bitvec.Vec{}} // constrains nothing
+	vectors := []Vector{
+		{Inputs: map[string]bitvec.Vec{"a": vec4(1)}},
+		{Inputs: map[string]bitvec.Vec{"a": vec4(2)}},
+		{Inputs: map[string]bitvec.Vec{"a": vec4(3)}},
+	}
+	res, err := RunTestbench(d, "", vectors, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.resets != 1 {
+		t.Fatalf("golden reset %d times, want exactly 1 (power-on)", g.resets)
+	}
+	if g.steps != len(vectors) {
+		t.Fatalf("golden stepped %d times, want %d", g.steps, len(vectors))
+	}
+	if res.Cycles != len(vectors) {
+		t.Fatalf("Cycles = %d, want %d", res.Cycles, len(vectors))
+	}
+	// A model that constrains no outputs can never mismatch.
+	if !res.Passed() || res.Mismatches != 0 || res.FirstMismatch != "" {
+		t.Fatalf("unconstrained model produced mismatches: %+v", res)
+	}
+}
+
+func TestTestbenchMismatchCountingAndFirstReport(t *testing.T) {
+	d := buildDesign(t, wireSrc)
+	// The design drives y = a, z = ~a; the golden insists y == 0 and
+	// z == 15 always — true only when a == 0.
+	g := &fixedGolden{out: map[string]bitvec.Vec{"y": vec4(0), "z": vec4(15)}}
+	vectors := []Vector{
+		{Inputs: map[string]bitvec.Vec{"a": vec4(0)}}, // matches
+		{Inputs: map[string]bitvec.Vec{"a": vec4(5)}}, // y and z both wrong
+		{Inputs: map[string]bitvec.Vec{"a": vec4(1)}}, // y and z both wrong
+	}
+	res, err := RunTestbench(d, "", vectors, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("mismatching run reported as passed")
+	}
+	// Two wrong outputs in each of two failing cycles: every (cycle,
+	// output) pair counts.
+	if res.Mismatches != 4 {
+		t.Fatalf("Mismatches = %d, want 4", res.Mismatches)
+	}
+	// The first failing sample is cycle 1; outputs are compared in
+	// sorted name order, so y reports before z.
+	want := fmt.Sprintf("cycle 1: output y = %s, expected %s", vec4(5).Hex(), vec4(0).Hex())
+	if res.FirstMismatch != want {
+		t.Fatalf("FirstMismatch = %q, want %q", res.FirstMismatch, want)
+	}
+}
+
+func TestTestbenchFirstMismatchSticksToEarliest(t *testing.T) {
+	d := buildDesign(t, wireSrc)
+	g := &fixedGolden{out: map[string]bitvec.Vec{"y": vec4(7)}}
+	vectors := []Vector{
+		{Inputs: map[string]bitvec.Vec{"a": vec4(1)}},
+		{Inputs: map[string]bitvec.Vec{"a": vec4(2)}},
+	}
+	res, err := RunTestbench(d, "", vectors, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.FirstMismatch, "cycle 0:") {
+		t.Fatalf("FirstMismatch %q does not describe the earliest failure", res.FirstMismatch)
+	}
+}
+
+func TestTestbenchRejectsUnknownInput(t *testing.T) {
+	d := buildDesign(t, wireSrc)
+	vectors := []Vector{{Inputs: map[string]bitvec.Vec{"bogus": vec4(1)}}}
+	_, err := RunTestbench(d, "", vectors, GoldenFunc(func(map[string]bitvec.Vec) map[string]bitvec.Vec {
+		return nil
+	}))
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("driving an unknown input returned %v, want a naming error", err)
+	}
+}
+
+func TestTestbenchClockIsRunnerOwned(t *testing.T) {
+	d := buildDesign(t, `
+module dff(input clk, input [3:0] din, output reg [3:0] q);
+	always @(posedge clk) q <= din;
+endmodule`)
+	// Driving the clock from a vector must be ignored (the runner owns
+	// it): a vector naming clk is not an unknown-input error, and the
+	// flop still advances exactly once per vector.
+	var got []uint64
+	golden := GoldenFunc(func(in map[string]bitvec.Vec) map[string]bitvec.Vec {
+		return map[string]bitvec.Vec{"q": in["din"]}
+	})
+	vectors := []Vector{
+		{Inputs: map[string]bitvec.Vec{"din": vec4(9), "clk": bitvec.FromUint64(1, 1)}},
+		{Inputs: map[string]bitvec.Vec{"din": vec4(4)}},
+	}
+	res, err := RunTestbench(d, "clk", vectors, golden)
+	if err != nil {
+		t.Fatalf("vector naming the clock errored: %v (q trace %v)", err, got)
+	}
+	if !res.Passed() || res.Cycles != 2 {
+		t.Fatalf("clocked run failed: %+v", res)
+	}
+}
+
+func TestTestbenchGoldenFuncAdapter(t *testing.T) {
+	calls := 0
+	f := GoldenFunc(func(in map[string]bitvec.Vec) map[string]bitvec.Vec {
+		calls++
+		return map[string]bitvec.Vec{"y": in["a"]}
+	})
+	f.Reset() // must be a no-op, not a panic
+	out := f.Step(map[string]bitvec.Vec{"a": vec4(3)})
+	if calls != 1 || !out["y"].Eq(vec4(3)) {
+		t.Fatalf("GoldenFunc adapter broken: calls=%d out=%v", calls, out)
+	}
+}
+
+func TestTestbenchExpectedValueResizedInReport(t *testing.T) {
+	d := buildDesign(t, wireSrc)
+	// Golden returns a wider expectation than the port: the report must
+	// render it at the port's width (Resize in testbench.go).
+	g := &fixedGolden{out: map[string]bitvec.Vec{"y": bitvec.FromUint64(8, 0x12)}}
+	vectors := []Vector{{Inputs: map[string]bitvec.Vec{"a": vec4(0)}}}
+	res, err := RunTestbench(d, "", vectors, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("width-mismatched expectation passed")
+	}
+	wantSuffix := fmt.Sprintf("expected %s", bitvec.FromUint64(8, 0x12).Resize(4).Hex())
+	if !strings.HasSuffix(res.FirstMismatch, wantSuffix) {
+		t.Fatalf("FirstMismatch = %q, want suffix %q", res.FirstMismatch, wantSuffix)
+	}
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Server smoke test: start rtlfixerd on a random port, drive /v1/fix and
+# /v1/stats through loadgen, then assert the daemon drains cleanly on
+# SIGTERM. Run from the repo root (CI does; locally: scripts/server_smoke.sh).
+set -euo pipefail
+
+workdir=$(mktemp -d)
+daemon=""
+trap '{ [ -n "$daemon" ] && kill "$daemon" 2>/dev/null; } || true; rm -rf "$workdir"' EXIT
+
+echo "== building rtlfixerd and loadgen"
+go build -o "$workdir/rtlfixerd" ./cmd/rtlfixerd
+go build -o "$workdir/loadgen" ./cmd/loadgen
+
+echo "== starting rtlfixerd on a random port"
+"$workdir/rtlfixerd" -addr 127.0.0.1:0 >"$workdir/daemon.out" 2>"$workdir/daemon.err" &
+daemon=$!
+
+port=""
+for _ in $(seq 1 50); do
+    port=$(sed -n 's/^rtlfixerd: listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "$workdir/daemon.out")
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "FAIL: daemon never reported its port" >&2
+    cat "$workdir/daemon.err" >&2
+    kill "$daemon" 2>/dev/null || true
+    exit 1
+fi
+echo "== daemon up on port $port (pid $daemon)"
+
+echo "== driving /v1/fix (coalescing herd) and /v1/stats via loadgen"
+"$workdir/loadgen" -addr "http://127.0.0.1:$port" -n 20 -concurrency 4 -distinct 1 \
+    -show-stats | tee "$workdir/loadgen.out"
+
+echo "== checking the stats the run produced"
+grep -q '"agent_runs"' "$workdir/loadgen.out" || { echo "FAIL: stats missing agent_runs" >&2; exit 1; }
+grep -q '"latency_fix_ms"' "$workdir/loadgen.out" || { echo "FAIL: stats missing latency histogram" >&2; exit 1; }
+
+echo "== sending SIGTERM and waiting for graceful drain"
+kill -TERM "$daemon"
+status=0
+wait "$daemon" || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: daemon exited $status after SIGTERM" >&2
+    cat "$workdir/daemon.err" >&2
+    exit 1
+fi
+grep -q "drained cleanly" "$workdir/daemon.err" || {
+    echo "FAIL: daemon log does not report a clean drain" >&2
+    cat "$workdir/daemon.err" >&2
+    exit 1
+}
+echo "== OK: served $(grep -c '^loadgen' "$workdir/loadgen.out" || true) report lines, drained cleanly"
