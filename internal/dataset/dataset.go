@@ -16,9 +16,17 @@ import (
 	"sort"
 
 	"repro/internal/bitvec"
-	"repro/internal/compiler"
+	"repro/internal/memo"
 	"repro/internal/sim"
 )
+
+// oracle is the package-wide content-addressed cache over the functional
+// oracle's compile pipeline (parse + elaborate + engine compile). Every
+// consumer of Problem.Check — the bench tables, the examples, rtlfixerd's
+// fix loop — funnels through here, so repeated candidates and the
+// per-Check reference recompilation are served from cache. The cache is
+// transparent: results are byte-identical with or without it.
+var oracle = memo.NewSimCache(0)
 
 // Suite identifies a benchmark track.
 type Suite string
@@ -63,8 +71,7 @@ type Problem struct {
 // non-clock input, with reset-style inputs held high for the first two
 // cycles so golden model and DUT leave reset together.
 func (p *Problem) Vectors(rng *rand.Rand) ([]sim.Vector, error) {
-	file, design, diags := compiler.Frontend(p.RefSource)
-	_ = file
+	_, design, diags := oracle.Frontend(p.RefSource)
 	if design == nil {
 		return nil, fmt.Errorf("problem %s: reference does not compile: %s", p.ID, diags.Summary())
 	}
@@ -123,9 +130,11 @@ func randomVec(rng *rand.Rand, width int) bitvec.Vec {
 }
 
 // Check runs the problem's testbench against a candidate design. The
-// candidate must already be elaborated (compile first).
+// candidate must already be elaborated (compile first). Compilation —
+// frontend and engine lowering — is amortized through the package cache,
+// so rechecking a seen candidate costs only the simulation itself.
 func (p *Problem) Check(candidate string, rng *rand.Rand) (sim.TBResult, error) {
-	_, design, diags := compiler.Frontend(candidate)
+	prog, design, diags := oracle.Program(candidate)
 	if design == nil {
 		return sim.TBResult{}, fmt.Errorf("candidate does not compile: %s", diags.Summary())
 	}
@@ -133,7 +142,19 @@ func (p *Problem) Check(candidate string, rng *rand.Rand) (sim.TBResult, error) 
 	if err != nil {
 		return sim.TBResult{}, err
 	}
-	return sim.RunTestbench(design, p.Clock, vectors, p.NewGolden())
+	var s *sim.Simulator
+	if prog != nil {
+		s = sim.NewFromProgram(prog)
+	} else {
+		// construct outside the compiled engine's coverage: the cache
+		// already recorded the rejection, so go straight to the walker
+		// rather than re-attempting compilation through EngineAuto
+		s, err = sim.NewWith(design, sim.EngineWalker)
+		if err != nil {
+			return sim.TBResult{}, err
+		}
+	}
+	return sim.RunTestbenchSim(s, p.Clock, vectors, p.NewGolden())
 }
 
 // ---------- suite access ----------

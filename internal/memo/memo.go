@@ -10,7 +10,7 @@
 // structures are precomputed once and sharded by key hash, so the worker
 // pool never repeats work and never serializes on a single lock.
 //
-// Two components:
+// Three components:
 //
 //   - CompileCache — a concurrency-safe, content-addressed cache of
 //     compiler.Result keyed by (persona, filename, FNV-64a of source),
@@ -19,6 +19,10 @@
 //     inverted pattern→entry index serving ExactTag and Keyword, and
 //     precomputed shingle sets serving Fuzzy. Wrap adapts it to the
 //     rag.Retriever interface.
+//   - SimCache (simcache.go) — the same content addressing over the
+//     simulation oracle's pipeline: parse + elaborate + sim.Compile,
+//     shared by every dataset.Problem.Check so the pass@k loop pays one
+//     engine compile per distinct source.
 //
 // Correctness contract: both components are transparent. A cached compile
 // returns the same Result the wrapped persona would produce (results are

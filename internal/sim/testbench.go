@@ -59,6 +59,15 @@ func RunTestbench(design *sema.Design, clock string, vectors []Vector, golden Go
 	if err != nil {
 		return TBResult{}, err
 	}
+	return RunTestbenchSim(s, clock, vectors, golden)
+}
+
+// RunTestbenchSim is RunTestbench over an existing simulator instance —
+// the entry point for callers that amortize compilation through a cached
+// Program (sim.NewFromProgram). The simulator is reset before the run.
+func RunTestbenchSim(s *Simulator, clock string, vectors []Vector, golden Golden) (TBResult, error) {
+	design := s.Design()
+	s.Reset()
 	golden.Reset()
 	res := TBResult{}
 

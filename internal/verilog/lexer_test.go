@@ -1,6 +1,7 @@
 package verilog
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -183,5 +184,56 @@ func TestLexRoundTripIdents(t *testing.T) {
 		if toks[0].Kind != TokIdent || toks[0].Text != name {
 			t.Fatalf("Lex(%q)[0] = %+v, want identifier round-trip", name, toks[0])
 		}
+	}
+}
+
+func TestLexUppercaseBaseLetters(t *testing.T) {
+	// The ASCII fast path must keep normalizing base letters: 8'HFF and
+	// 8'hFF lex to the same canonical token text.
+	for _, src := range []string{"8'HFF", "8'hFF", "4'B1010", "8'O17", "8'D42", "8'SD4"} {
+		toks := Lex(src)
+		if toks[0].Kind != TokNumber {
+			t.Fatalf("Lex(%q)[0] = %+v, want number", src, toks[0])
+		}
+	}
+	if got := Lex("8'HFF")[0].Text; got != "8'hFF" {
+		t.Fatalf("base letter not normalized: %q", got)
+	}
+	// invalid digits still rejected per base
+	if toks := Lex("8'b012"); toks[0].Kind != TokError {
+		t.Fatalf("8'b012 must be a malformed literal, got %+v", toks[0])
+	}
+	if toks := Lex("8'dff"); toks[0].Kind != TokError {
+		t.Fatalf("8'dff must be a malformed literal, got %+v", toks[0])
+	}
+	// wildcard digits stay valid where the old table allowed them
+	for _, src := range []string{"4'b1?z0", "8'hx_Z?", "8'o1?7"} {
+		if toks := Lex(src); toks[0].Kind != TokError && toks[0].Kind != TokNumber {
+			t.Fatalf("Lex(%q) = %+v", src, toks[0])
+		}
+		if toks := Lex(src); toks[0].Kind == TokError {
+			t.Fatalf("Lex(%q) rejected wildcard digits: %+v", src, toks[0])
+		}
+	}
+}
+
+// BenchmarkLex measures whole-file tokenization — the cache-miss compile
+// path lexes every candidate before anything else runs.
+func BenchmarkLex(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&sb, `
+module m%d(input clk, input [31:0] a, output reg [31:0] q);
+	wire [31:0] t = a ^ 32'hDEAD_BEEF;
+	always @(posedge clk)
+		q <= t + 8'HFF + q;
+endmodule
+`, i)
+	}
+	src := sb.String()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		Lex(src)
 	}
 }
