@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+// Repro 1: blocking part-select self-assignment — RHS register aliases the
+// store target.
+func TestReproAliasSliceStore(t *testing.T) {
+	src := `
+module m(input clk, input [7:0] d, output reg [7:0] q);
+always @(posedge clk) begin
+  q = d;
+  q[4:1] = q;
+end
+endmodule`
+	diffBoth(t, src, "clk", 16, 5)
+}
+
+// Repro 2: two clocked blocks on the same edge, each with a block-local
+// loop variable of the same name, NBA-indexed targets.
+func TestReproSharedLoopVarNBA(t *testing.T) {
+	src := `
+module m(input clk, input [7:0] d, output reg [7:0] q, output reg [7:0] r);
+always @(posedge clk) begin
+  integer i;
+  for (i = 0; i < 4; i = i + 1) q[i] <= d[i];
+end
+always @(posedge clk) begin
+  integer i;
+  for (i = 0; i < 6; i = i + 1) r[i] <= d[i];
+end
+endmodule`
+	diffBoth(t, src, "clk", 16, 7)
+}
