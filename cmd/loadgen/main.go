@@ -12,6 +12,12 @@
 // herd); the coalescing + caching service should clear several times the
 // baseline's request rate.
 //
+// -duration runs for a wall-clock window instead of a fixed count, and
+// the report always splits out the first -split-first requests — on a
+// cold daemon they pay the compile misses, on a warm restart
+// (rtlfixerd -state-dir) they should match the steady state, so the
+// split is the warm-start A/B measurement.
+//
 // The corpus is the paper's curated erroneous-implementation dataset
 // (internal/curate), cycled round-robin over -distinct problems. Exit
 // status is non-zero when any request fails at the transport level or no
@@ -35,16 +41,11 @@ import (
 	"repro/internal/metrics"
 )
 
-type result struct {
-	status  int
-	success bool
-	err     error
-	ms      float64
-}
-
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "rtlfixerd base URL")
 	n := flag.Int("n", 100, "total requests to send")
+	duration := flag.Duration("duration", 0, "wall-clock run length (overrides -n; send until the deadline)")
+	splitFirst := flag.Int("split-first", 10, "report the first N requests' latency separately (cold-vs-warm start A/B)")
 	qps := flag.Float64("qps", 0, "target request rate (0 = as fast as -concurrency allows)")
 	concurrency := flag.Int("concurrency", 8, "concurrent in-flight requests")
 	distinct := flag.Int("distinct", 1, "distinct problems cycled through (1 = repeated-source herd)")
@@ -55,8 +56,8 @@ func main() {
 	showStats := flag.Bool("show-stats", false, "fetch and print /v1/stats after the run")
 	flag.Parse()
 
-	if *n <= 0 || *concurrency <= 0 || *distinct <= 0 {
-		fmt.Fprintln(os.Stderr, "loadgen: -n, -concurrency and -distinct must be positive")
+	if (*n <= 0 && *duration <= 0) || *concurrency <= 0 || *distinct <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -n (or -duration), -concurrency and -distinct must be positive")
 		os.Exit(2)
 	}
 
@@ -109,94 +110,103 @@ func main() {
 	transport.MaxIdleConnsPerHost = *concurrency
 	client := &http.Client{Timeout: clientTimeout, Transport: transport}
 	hist := metrics.NewLatencyHistogram()
-	results := make([]result, *n)
+	// The first -split-first requests are histogrammed separately: on a
+	// cold daemon they pay the compile misses, on a warm (-state-dir
+	// restart) daemon they should match the steady state — the split is
+	// the A/B signal for warm start.
+	histFirst := metrics.NewLatencyHistogram()
+	histRest := metrics.NewLatencyHistogram()
 
-	// Pacing: with -qps, a ticker feeds request slots; without, the
-	// tokens channel is pre-filled so only -concurrency limits the rate.
-	tokens := make(chan struct{}, *n)
-	if *qps > 0 {
-		interval := time.Duration(float64(time.Second) / *qps)
-		go func() {
-			t := time.NewTicker(interval)
-			defer t.Stop()
-			for i := 0; i < *n; i++ {
-				tokens <- struct{}{}
-				<-t.C
-			}
-			close(tokens)
-		}()
-	} else {
-		for i := 0; i < *n; i++ {
-			tokens <- struct{}{}
-		}
-		close(tokens)
-	}
-
-	var wg sync.WaitGroup
+	// Pacing: the feeder hands out request indices, ticking at -qps when
+	// set; it stops at -n requests, or at the -duration deadline.
 	next := make(chan int)
 	go func() {
-		i := 0
-		for range tokens {
-			next <- i
-			i++
+		defer close(next)
+		var deadline time.Time
+		if *duration > 0 {
+			deadline = time.Now().Add(*duration)
 		}
-		close(next)
+		var tick *time.Ticker
+		if *qps > 0 {
+			tick = time.NewTicker(time.Duration(float64(time.Second) / *qps))
+			defer tick.Stop()
+		}
+		for i := 0; ; i++ {
+			if *duration > 0 {
+				if !time.Now().Before(deadline) {
+					return
+				}
+			} else if i >= *n {
+				return
+			}
+			next <- i
+			if tick != nil {
+				<-tick.C
+			}
+		}
 	}()
 
+	// Aggregated under one mutex; a -duration run can send hundreds of
+	// thousands of requests, so no per-request state is retained.
+	var wg sync.WaitGroup
+	var tallyMu sync.Mutex
+	statusCounts := map[int]int{}
+	sent, transportErrs, fixed := 0, 0, 0
 	start := time.Now()
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				r := &results[i]
 				began := time.Now()
 				resp, err := client.Post(*addr+endpoint, "application/json",
 					bytes.NewReader(corpus[i%*distinct].body))
-				r.ms = float64(time.Since(began)) / float64(time.Millisecond)
+				ms := float64(time.Since(began)) / float64(time.Millisecond)
+				status, success := 0, false
+				if err == nil {
+					var body struct {
+						Success bool `json:"success"`
+						Ok      bool `json:"ok"`
+					}
+					data, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					_ = json.Unmarshal(data, &body)
+					status = resp.StatusCode
+					success = body.Success || body.Ok
+					// Percentiles describe served requests only: fast
+					// 429/503 rejections must not flatter the report.
+					if status == http.StatusOK {
+						hist.Observe(ms)
+						if i < *splitFirst {
+							histFirst.Observe(ms)
+						} else {
+							histRest.Observe(ms)
+						}
+					}
+				}
+				tallyMu.Lock()
+				sent++
 				if err != nil {
-					r.err = err
-					continue
+					transportErrs++
+				} else {
+					statusCounts[status]++
+					if status == http.StatusOK && success {
+						fixed++
+					}
 				}
-				var body struct {
-					Success bool `json:"success"`
-					Ok      bool `json:"ok"`
-				}
-				data, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				_ = json.Unmarshal(data, &body)
-				r.status = resp.StatusCode
-				r.success = body.Success || body.Ok
-				// Percentiles describe served requests only: fast 429/503
-				// rejections must not flatter the latency report.
-				if r.status == http.StatusOK {
-					hist.Observe(r.ms)
-				}
+				tallyMu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	statusCounts := map[int]int{}
-	transportErrs, fixed := 0, 0
-	for _, r := range results {
-		if r.err != nil {
-			transportErrs++
-			continue
-		}
-		statusCounts[r.status]++
-		if r.status == http.StatusOK && r.success {
-			fixed++
-		}
-	}
-
 	// Throughput counts served (200) responses only: a daemon shedding
 	// load with fast 429s must not report as fast serving.
 	served := statusCounts[http.StatusOK]
-	fmt.Printf("loadgen: %d requests to %s%s in %v (%.1f served/s, %.1f sent/s)\n", *n, *addr, endpoint,
+	fmt.Printf("loadgen: %d requests to %s%s in %v (%.1f served/s, %.1f sent/s)\n", sent, *addr, endpoint,
 		elapsed.Round(time.Millisecond),
-		float64(served)/elapsed.Seconds(), float64(*n)/elapsed.Seconds())
+		float64(served)/elapsed.Seconds(), float64(sent)/elapsed.Seconds())
 	var codes []int
 	for c := range statusCounts {
 		codes = append(codes, c)
@@ -213,6 +223,14 @@ func main() {
 	s := hist.Snapshot()
 	if s.Count > 0 {
 		fmt.Printf("loadgen: latency ms p50=%.2f p90=%.2f p99=%.2f max=%.2f\n", s.P50, s.P90, s.P99, s.Max)
+	}
+	// The cold-vs-warm split: mean latency of the first requests against
+	// the steady state that follows them.
+	if f, rest := histFirst.Snapshot(), histRest.Snapshot(); f.Count > 0 && rest.Count > 0 {
+		fmt.Printf("loadgen: first %d requests mean=%.2fms p50=%.2f max=%.2f; remaining %d mean=%.2fms p50=%.2f max=%.2f (warm-start ratio %.1fx)\n",
+			f.Count, f.Sum/float64(f.Count), f.P50, f.Max,
+			rest.Count, rest.Sum/float64(rest.Count), rest.P50, rest.Max,
+			(f.Sum/float64(f.Count))/(rest.Sum/float64(rest.Count)))
 	}
 
 	if *showStats {

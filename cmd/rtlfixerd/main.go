@@ -10,6 +10,13 @@
 //	rtlfixerd -addr 127.0.0.1:0          # serve on a random free port
 //	rtlfixerd -max-inflight 8 -queue 32  # size admission control
 //	rtlfixerd -coalesce=false -cache=false   # A/B baseline for loadgen
+//	rtlfixerd -state-dir ./state         # durable caches: warm restart
+//
+// With -state-dir, compile results and the retrieval index persist in a
+// content-addressed store (internal/store): a restarted daemon loads them
+// at boot and serves its first requests from cache; a SIGTERM drain
+// flushes the unwritten tail; a crash costs at most the write-behind
+// window, and a torn journal tail recovers at the next start.
 //
 // The daemon prints exactly one line to stdout — "rtlfixerd: listening on
 // HOST:PORT" — so scripts can discover a randomly assigned port; all
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -49,10 +57,23 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper clamp on request deadlines")
 	coalesce := flag.Bool("coalesce", true, "coalesce identical concurrent requests into one run")
 	cache := flag.Bool("cache", true, "enable the sharded memoization layer")
+	stateDir := flag.String("state-dir", "", "durable state directory: caches persist across restarts (warm start)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain may take")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "rtlfixerd: ", log.LstdFlags)
+
+	// The durable state layer: pooled fixers warm-start from it, fresh
+	// results flush behind, and a SIGTERM drain flushes the tail before
+	// exit. A corrupt journal tail from a crash recovers at Open.
+	var st *store.Store
+	if *stateDir != "" {
+		var err error
+		st, err = store.Open(*stateDir, store.Options{Logf: logger.Printf})
+		if err != nil {
+			logger.Fatalf("state: %v", err)
+		}
+	}
 
 	qd := *queueDepth
 	if qd == 0 {
@@ -69,6 +90,7 @@ func main() {
 		MaxTimeout:      *maxTimeout,
 		DisableCoalesce: !*coalesce,
 		DisableCache:    !*cache,
+		Store:           st,
 		Logf:            logger.Printf,
 	})
 
@@ -78,8 +100,12 @@ func main() {
 	}
 	// The one stdout line: scripts parse the resolved port from it.
 	fmt.Printf("rtlfixerd: listening on %s\n", ln.Addr())
-	logger.Printf("serving (inflight=%d queue=%d batch<=%d linger=%v coalesce=%v cache=%v)",
-		*maxInFlight, *queueDepth, *maxBatch, *linger, *coalesce, *cache)
+	state := "none"
+	if st != nil {
+		state = fmt.Sprintf("%s (%d records)", st.Dir(), st.Stats().Records)
+	}
+	logger.Printf("serving (inflight=%d queue=%d batch<=%d linger=%v coalesce=%v cache=%v state=%s)",
+		*maxInFlight, *queueDepth, *maxBatch, *linger, *coalesce, *cache, state)
 
 	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
 	serveErr := make(chan error, 1)
@@ -103,8 +129,19 @@ func main() {
 	httpErr := httpSrv.Shutdown(shutdownCtx)
 	drainErr := srv.Drain(shutdownCtx)
 	srv.Close()
-	if httpErr != nil || drainErr != nil {
-		logger.Printf("drain incomplete: http=%v dispatch=%v", httpErr, drainErr)
+	// The drain is over: every admitted request has written its results
+	// behind, so Close's final flush makes the cache state durable.
+	var stateErr error
+	if st != nil {
+		stateErr = st.Close()
+		if stateErr != nil {
+			logger.Printf("state flush: %v", stateErr)
+		} else {
+			logger.Printf("state flushed to %s", st.Dir())
+		}
+	}
+	if httpErr != nil || drainErr != nil || stateErr != nil {
+		logger.Printf("drain incomplete: http=%v dispatch=%v state=%v", httpErr, drainErr, stateErr)
 		os.Exit(1)
 	}
 	logger.Printf("drained cleanly; bye")

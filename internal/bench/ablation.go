@@ -26,8 +26,9 @@ type AblationResult struct {
 
 // runFixRate measures the ReAct fix rate over entries for a fully built
 // fixer configuration, fanning the attempts out over the worker pool.
-func runFixRate(f *core.RTLFixer, entries []curate.Entry, repeats, workers int) float64 {
-	return runFixRateJobs(f, entries, repeats, workers).FixRate
+// label scopes the resume journal per experiment.
+func runFixRate(label string, f *core.RTLFixer, entries []curate.Entry, repeats, workers int) float64 {
+	return runFixRateJobs(label, f, entries, repeats, workers).FixRate
 }
 
 // RunRetrieverAblation compares retrieval strategies under the full
@@ -66,7 +67,8 @@ func RunRetrieverAblation(seed int64, repeats int, entries []curate.Entry, worke
 		if err != nil {
 			panic(err)
 		}
-		out = append(out, AblationResult{Name: cfg.name, FixRate: runFixRate(f, entries, repeats, workers)})
+		out = append(out, AblationResult{Name: cfg.name,
+			FixRate: runFixRate("ablation/retriever/"+cfg.name, f, entries, repeats, workers)})
 	}
 	return out
 }
@@ -98,7 +100,7 @@ func RunIterationBudgetAblation(seed int64, repeats, max int, entries []curate.E
 		}
 		out = append(out, AblationResult{
 			Name:    fmt.Sprintf("budget=%d", budget),
-			FixRate: runFixRate(f, entries, repeats, workers),
+			FixRate: runFixRate("ablation/budget", f, entries, repeats, workers),
 		})
 	}
 	return out
@@ -159,7 +161,7 @@ func RunGuidanceSizeAblation(seed int64, repeats int, entries []curate.Entry, wo
 		}
 		out = append(out, AblationResult{
 			Name:    fmt.Sprintf("entries=%d", keep),
-			FixRate: runFixRate(f, entries, repeats, workers),
+			FixRate: runFixRate(fmt.Sprintf("ablation/guidance/entries=%d", keep), f, entries, repeats, workers),
 		})
 	}
 	return out

@@ -1,0 +1,132 @@
+// Resumable benchmarks: a store-backed pipeline.Journal plus the label
+// scheme that scopes journal entries to one exact experiment
+// configuration.
+//
+// cmd/benchmark wires this up from -state-dir/-resume: every completed
+// agent job is journaled through the pipeline's per-job completion hook,
+// and a resumed run restores those outcomes instead of re-running the
+// jobs. Because a journal entry is addressed by (label, filename, code,
+// seed) and the label carries the full fixer configuration and
+// experiment parameters, a restored run's tables are byte-identical to
+// an uninterrupted one — and a run with any different flag simply shares
+// nothing.
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/store"
+)
+
+// journal is the package-wide pipeline journal (nil = journaling off).
+// Set once by SetJournal before any experiment runs.
+var journal pipeline.Journal
+
+// SetJournal installs the journal every bench experiment records to and
+// resumes from. Pass nil to disable. Call before running experiments.
+func SetJournal(j pipeline.Journal) { journal = j }
+
+// runJobs funnels every bench pipeline run through the package journal.
+func runJobs(ctx context.Context, label string, cfg pipeline.Config, jobs []pipeline.Job, fn pipeline.FixFunc) ([]pipeline.Result, error) {
+	return pipeline.RunJournaled(ctx, cfg, label, jobs, fn, journal)
+}
+
+// fixerLabel fingerprints a fixer configuration for journal scoping:
+// everything that selects agent behaviour beyond the job fields. The
+// cache flag is deliberately absent — output is byte-identical with the
+// cache on or off, so journaled outcomes are shared across that flag.
+func fixerLabel(f *core.RTLFixer) string {
+	o := f.Options()
+	ret := "default"
+	if o.Retriever != nil {
+		ret = o.Retriever.Name()
+	}
+	return fmt.Sprintf("mode=%s,rag=%v,comp=%s,llm=%s,iters=%d,seed=%d,ret=%s",
+		o.Mode, o.RAG, o.CompilerName, o.PersonaName, o.MaxIterations, o.Seed, ret)
+}
+
+// RecordOnly wraps a journal so lookups always miss: a fresh run records
+// its progress for a future -resume without consuming state left by
+// previous runs. (Only -resume opts into restoring outcomes.)
+func RecordOnly(j pipeline.Journal) pipeline.Journal { return recordOnly{j} }
+
+type recordOnly struct{ inner pipeline.Journal }
+
+func (r recordOnly) Lookup(string, pipeline.Job) (pipeline.Outcome, bool) {
+	return pipeline.Outcome{}, false
+}
+
+func (r recordOnly) Record(label string, jb pipeline.Job, o pipeline.Outcome) {
+	r.inner.Record(label, jb, o)
+}
+
+// StoreJournal adapts a durable store.Backing to pipeline.Journal.
+// Records are content-addressed by pipeline.JobKey and carry the full
+// job identity, so an FNV collision (or a stale payload) degrades to a
+// re-run, never a restored foreign outcome.
+type StoreJournal struct {
+	b store.Backing
+}
+
+// NewStoreJournal wraps a backing.
+func NewStoreJournal(b store.Backing) *StoreJournal { return &StoreJournal{b: b} }
+
+const benchPayloadV = 1
+
+// Lookup implements pipeline.Journal.
+func (j *StoreJournal) Lookup(label string, jb pipeline.Job) (pipeline.Outcome, bool) {
+	data, ok := j.b.Get(store.KindBenchJob, pipeline.JobKey(label, jb))
+	if !ok {
+		return pipeline.Outcome{}, false
+	}
+	d := store.NewDecoder(data)
+	if d.U8() != benchPayloadV {
+		return pipeline.Outcome{}, false
+	}
+	if d.String() != label || d.String() != jb.Filename || d.String() != jb.Code || d.I64() != jb.SampleSeed {
+		return pipeline.Outcome{}, false // key collision: re-run
+	}
+	var o pipeline.Outcome
+	o.Success = d.Bool()
+	o.Iterations = int(d.Varint())
+	o.FinalCode = d.String()
+	nilRules := d.Bool()
+	n := d.Varint()
+	if d.Err() != nil || n < 0 || n > 1<<16 {
+		return pipeline.Outcome{}, false
+	}
+	if !nilRules {
+		o.FixerRules = make([]string, 0, n)
+	}
+	for i := int64(0); i < n; i++ {
+		o.FixerRules = append(o.FixerRules, d.String())
+	}
+	o.ElapsedNS = d.I64()
+	if !d.Ok() {
+		return pipeline.Outcome{}, false
+	}
+	return o, true
+}
+
+// Record implements pipeline.Journal.
+func (j *StoreJournal) Record(label string, jb pipeline.Job, o pipeline.Outcome) {
+	var e store.Encoder
+	e.U8(benchPayloadV)
+	e.String(label)
+	e.String(jb.Filename)
+	e.String(jb.Code)
+	e.I64(jb.SampleSeed)
+	e.Bool(o.Success)
+	e.Varint(int64(o.Iterations))
+	e.String(o.FinalCode)
+	e.Bool(o.FixerRules == nil)
+	e.Varint(int64(len(o.FixerRules)))
+	for _, r := range o.FixerRules {
+		e.String(r)
+	}
+	e.I64(o.ElapsedNS)
+	j.b.Put(store.KindBenchJob, pipeline.JobKey(label, jb), e.Bytes())
+}

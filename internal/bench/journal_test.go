@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/curate"
+	"repro/internal/pipeline"
+	"repro/internal/store"
+)
+
+// TestTable1ResumeByteIdentical runs a small Table 1 against a journaled
+// store, then re-runs it from a reopened store (the killed-and-restarted
+// shape) and asserts the rendered table is byte-identical while the agent
+// work is served from the journal.
+func TestTable1ResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	entries, _ := curate.Build(curate.Options{Seed: 11})
+	if len(entries) > 4 {
+		entries = entries[:4]
+	}
+	cfg := Table1Config{Seed: 11, Repeats: 2, Entries: entries, Workers: 4, Cache: true}
+
+	st1, err := store.Open(dir, store.Options{NoFlusher: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetJournal(NewStoreJournal(st1))
+	defer SetJournal(nil)
+	cold := RunTable1(cfg).Render()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir, store.Options{NoFlusher: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Stats().LoadedAtOpen == 0 {
+		t.Fatal("no journaled jobs survived the restart")
+	}
+	SetJournal(NewStoreJournal(st2))
+	resumed := RunTable1(cfg).Render()
+	if cold != resumed {
+		t.Fatalf("resumed table differs:\ncold:\n%s\nresumed:\n%s", cold, resumed)
+	}
+	if s := st2.Stats(); s.LoadHits == 0 {
+		t.Fatalf("resumed run never consulted the journal: %+v", s)
+	}
+}
+
+// TestStoreJournalCollisionGuard plants a record at a job's key whose
+// payload identifies a different job; Lookup must reject it.
+func TestStoreJournalCollisionGuard(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{NoFlusher: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	j := NewStoreJournal(st)
+
+	real := pipeline.Job{Filename: "main.v", Code: "module a; endmodule", SampleSeed: 1}
+	forged := pipeline.Job{Filename: "main.v", Code: "module b; endmodule", SampleSeed: 2}
+	// Record the forged job's outcome, then overwrite the real job's slot
+	// with it (as an FNV collision would).
+	j.Record("lbl", forged, pipeline.Outcome{Success: true, FinalCode: "forged"})
+	data, ok := st.Get(store.KindBenchJob, pipeline.JobKey("lbl", forged))
+	if !ok {
+		t.Fatal("forged record not stored")
+	}
+	st.Put(store.KindBenchJob, pipeline.JobKey("lbl", real), data)
+
+	if _, ok := j.Lookup("lbl", real); ok {
+		t.Fatal("collision guard failed: foreign outcome restored")
+	}
+	if o, ok := j.Lookup("lbl", forged); !ok || o.FinalCode != "forged" {
+		t.Fatal("genuine record must still round-trip")
+	}
+}
+
+// TestStoreJournalRoundtripFields checks full outcome fidelity through
+// the store codec, including nil-vs-empty rule slices.
+func TestStoreJournalRoundtripFields(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{NoFlusher: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	j := NewStoreJournal(st)
+	jb := pipeline.Job{Filename: "f.v", Code: "c", SampleSeed: -7}
+	want := pipeline.Outcome{
+		Success:    true,
+		Iterations: 3,
+		FinalCode:  "module ok; endmodule",
+		FixerRules: []string{"strip-prose", "dup-endmodule"},
+		ElapsedNS:  123456789,
+	}
+	j.Record("lbl", jb, want)
+	got, ok := j.Lookup("lbl", jb)
+	if !ok {
+		t.Fatal("lookup missed")
+	}
+	if got.Success != want.Success || got.Iterations != want.Iterations ||
+		got.FinalCode != want.FinalCode || got.ElapsedNS != want.ElapsedNS ||
+		len(got.FixerRules) != 2 || got.FixerRules[0] != "strip-prose" {
+		t.Fatalf("roundtrip = %+v, want %+v", got, want)
+	}
+
+	jb2 := pipeline.Job{Filename: "f.v", Code: "c2", SampleSeed: 0}
+	j.Record("lbl", jb2, pipeline.Outcome{})
+	got2, ok := j.Lookup("lbl", jb2)
+	if !ok || got2.FixerRules != nil {
+		t.Fatalf("nil rules must stay nil: %+v ok=%v", got2, ok)
+	}
+}

@@ -108,7 +108,8 @@ func RunTable3(cfg Table3Config) *Table3Result {
 		}
 	}
 
-	fixResults, err := pipeline.Run(context.Background(), pipeline.Config{Workers: cfg.Workers}, jobs,
+	label := fmt.Sprintf("table3/samples=%d/%s", cfg.SampleN, fixerLabel(rtlfixer))
+	fixResults, err := runJobs(context.Background(), label, pipeline.Config{Workers: cfg.Workers}, jobs,
 		pipeline.FixWith(rtlfixer))
 	if err != nil {
 		panic(err) // background context: cannot be canceled

@@ -24,12 +24,22 @@
 //     shared by every dataset.Problem.Check so the pass@k loop pays one
 //     engine compile per distinct source.
 //
-// Correctness contract: both components are transparent. A cached compile
+// All three caches are process-lifetime by default; persist.go hangs a
+// durable backing (internal/store) underneath them: compile results and
+// the retrieval-index image restore at attach time (warm start) and
+// write behind, sim sources are recorded and replayed through the
+// compiler at boot. Lookups stay in-memory-first; only a miss consults
+// disk before recomputing. Per-layer process totals (TotalsByKind)
+// make warm-start effectiveness observable per cache.
+//
+// Correctness contract: every component is transparent. A cached compile
 // returns the same Result the wrapped persona would produce (results are
 // shared, so callers must treat them as read-only — which every consumer
 // already does); an indexed retrieval returns the same entries in the
-// same order as the naive scan. Table output is therefore byte-identical
-// with the layer on or off, at any worker count.
+// same order as the naive scan; a restored record serves the same bytes
+// a cold compute would (collision-guarded and schema-versioned, so
+// anything doubtful recomputes). Table output is therefore byte-identical
+// with the layer on or off, at any worker count, across restarts.
 package memo
 
 import (
@@ -38,6 +48,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/compiler"
+	"repro/internal/store"
 )
 
 // Stats is a point-in-time snapshot of memoization counters.
@@ -89,14 +100,45 @@ func (c *counters) snapshot() Stats {
 	}
 }
 
-var global counters
+// The process-wide totals are kept per cache layer so warm-start
+// effectiveness is observable per layer (compile vs sim vs retrieval),
+// then summed for the legacy aggregate view.
+var (
+	globalCompile   counters
+	globalSim       counters
+	globalRetrieval counters
+)
 
 // Totals returns the process-wide aggregate counters over every
-// CompileCache and RetrievalIndex ever created. Under concurrency the
-// hit/miss split is approximate (two workers can race to populate the
-// same key, recording two misses where a serial run records one miss and
-// one hit); the cached values themselves are exact.
-func Totals() Stats { return global.snapshot() }
+// CompileCache, SimCache, and RetrievalIndex ever created. Under
+// concurrency the hit/miss split is approximate (two workers can race to
+// populate the same key, recording two misses where a serial run records
+// one miss and one hit); the cached values themselves are exact.
+func Totals() Stats {
+	t := TotalsByKind()
+	return t.Compile.Add(t.Sim).Add(t.Retrieval)
+}
+
+// KindTotals breaks the process-wide counters out per cache layer.
+type KindTotals struct {
+	// Compile covers every CompileCache (persona compile results).
+	Compile Stats
+	// Sim covers every SimCache (the simulation oracle's frontend +
+	// engine-compile pipeline).
+	Sim Stats
+	// Retrieval covers every RetrievalIndex (lookups served from the
+	// precompiled index).
+	Retrieval Stats
+}
+
+// TotalsByKind returns the per-layer process-wide counters.
+func TotalsByKind() KindTotals {
+	return KindTotals{
+		Compile:   globalCompile.snapshot(),
+		Sim:       globalSim.snapshot(),
+		Retrieval: globalRetrieval.snapshot(),
+	}
+}
 
 // Default sizing. 64 shards keeps lock contention negligible for any
 // plausible worker count; 16384 entries comfortably hold a full Table 1
@@ -134,6 +176,13 @@ type CompileCache struct {
 	shards      []cacheShard
 	capPerShard int
 	c           counters
+	// backing, when non-nil, is the durable store under the cache:
+	// misses consult it before recomputing, fresh results are written
+	// behind. Set once via AttachStore (persist.go) before serving.
+	backing store.Backing
+	// loaded counts entries restored from the backing (attach-time warm
+	// start plus lazy miss-path loads).
+	loaded atomic.Uint64
 }
 
 // NewCompileCache builds a cache holding at least capacity results
@@ -195,11 +244,20 @@ func (cc *CompileCache) get(key compileKey, src string) (compiler.Result, bool) 
 	s.mu.Unlock()
 	if ok && e.src == src {
 		cc.c.hits.Add(1)
-		global.hits.Add(1)
+		globalCompile.hits.Add(1)
 		return e.res, true
 	}
+	// Memory missed (or an FNV collision shadowed the slot): consult the
+	// durable backing before conceding a recompute.
+	if cc.backing != nil {
+		if res, ok := cc.backingGet(key, src); ok {
+			cc.c.hits.Add(1)
+			globalCompile.hits.Add(1)
+			return res, true
+		}
+	}
 	cc.c.misses.Add(1)
-	global.misses.Add(1)
+	globalCompile.misses.Add(1)
 	return compiler.Result{}, false
 }
 
@@ -215,7 +273,7 @@ func (cc *CompileCache) put(key compileKey, src string, res compiler.Result) {
 		// overwrite; either way the slot is already accounted in order.
 		if old.src != src {
 			cc.c.evictions.Add(1)
-			global.evictions.Add(1)
+			globalCompile.evictions.Add(1)
 		}
 		s.entries[key] = compileEntry{src: src, res: res}
 		return
@@ -226,7 +284,7 @@ func (cc *CompileCache) put(key compileKey, src string, res compiler.Result) {
 		if _, ok := s.entries[oldest]; ok {
 			delete(s.entries, oldest)
 			cc.c.evictions.Add(1)
-			global.evictions.Add(1)
+			globalCompile.evictions.Add(1)
 		}
 	}
 	s.entries[key] = compileEntry{src: src, res: res}
@@ -267,5 +325,6 @@ func (c *cachedCompiler) Compile(filename, src string) compiler.Result {
 	}
 	res := c.inner.Compile(filename, src)
 	c.cache.put(key, src, res)
+	c.cache.backingPut(key, src, res)
 	return res
 }

@@ -112,6 +112,117 @@ func TestSimCacheCapacityBound(t *testing.T) {
 	}
 }
 
+// TestSimCacheCollisionGuard plants an entry whose stored source differs
+// from the probing source at the same key — the FNV-collision shape — and
+// checks the lookup recomputes rather than serving the foreign entry,
+// then displaces the collided slot (counted as an eviction).
+func TestSimCacheCollisionGuard(t *testing.T) {
+	sc := NewSimCache(0)
+	key := HashSource(simCacheGood)
+	shard := &sc.shards[key%uint64(len(sc.shards))]
+
+	// Plant a foreign entry (compiled from a different source) at
+	// simCacheGood's slot.
+	foreign := compileSimEntry(simCacheFallback)
+	shard.mu.Lock()
+	shard.entries[key] = foreign
+	shard.order = append(shard.order, key)
+	shard.mu.Unlock()
+
+	prog, design, _ := sc.Program(simCacheGood)
+	if design == nil {
+		t.Fatal("collided lookup must recompute the real source")
+	}
+	if prog == nil {
+		t.Fatal("simCacheGood compiles under the engine; got nil program")
+	}
+	st := sc.Stats()
+	if st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("collision must count as a miss: %+v", st)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("collision overwrite must count as an eviction: %+v", st)
+	}
+	// The slot now holds the real source: the next lookup hits.
+	if _, d2, _ := sc.Program(simCacheGood); d2 != design {
+		t.Fatal("recomputed entry was not installed")
+	}
+	if st := sc.Stats(); st.Hits != 1 {
+		t.Fatalf("post-collision lookup must hit: %+v", st)
+	}
+}
+
+// TestSimCacheChurnConcurrent hammers a deliberately tiny cache from many
+// goroutines with a working set larger than capacity, so FIFO
+// displacement, re-misses of displaced keys, and racing fills of the same
+// key all happen at once. Asserts the capacity bound holds, displaced
+// entries recompute correctly, and planted collisions never leak a
+// foreign entry to any caller.
+func TestSimCacheChurnConcurrent(t *testing.T) {
+	const capacity, distinct, workers, iters = 8, 40, 8, 120
+	sc := NewSimCache(capacity)
+	srcs := make([]string, distinct)
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf("module m(input [3:0] a, output [3:0] y); assign y = a + 4'd%d; endmodule", i%16)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				src := srcs[(w*7+i)%distinct]
+				prog, design, diags := sc.Program(src)
+				if design == nil || prog == nil {
+					t.Errorf("valid source failed under churn: %v", diags)
+					return
+				}
+				// Interleave collision plants: overwrite a random slot
+				// with an entry for a different source, as a hash
+				// collision would.
+				if i%17 == 0 {
+					key := HashSource(srcs[(i+1)%distinct])
+					shard := &sc.shards[key%uint64(len(sc.shards))]
+					shard.mu.Lock()
+					if _, ok := shard.entries[key]; ok {
+						shard.entries[key] = simEntry{src: srcs[i%distinct],
+							file: nil, design: nil, diags: nil}
+					}
+					shard.mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if n := sc.Len(); n > 2*capacity {
+		t.Fatalf("capacity bound violated under churn: %d entries", n)
+	}
+	st := sc.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("churn over capacity must displace entries: %+v", st)
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("churn should mix hits and misses: %+v", st)
+	}
+	// Every cached entry must be self-consistent: the stored source is
+	// the one its design was compiled from (planted collisions must have
+	// been displaced by real recomputes or remain marked foreign, never
+	// half-merged).
+	for i := range sc.shards {
+		s := &sc.shards[i]
+		s.mu.Lock()
+		for key, e := range s.entries {
+			if e.design != nil && HashSource(e.src) != key {
+				s.mu.Unlock()
+				t.Fatalf("entry stored under wrong key: %q", e.src)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
 func TestSimCacheConcurrent(t *testing.T) {
 	sc := NewSimCache(0)
 	var wg sync.WaitGroup

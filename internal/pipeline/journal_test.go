@@ -1,0 +1,220 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/agent"
+)
+
+// mapJournal is an in-memory Journal for tests.
+type mapJournal struct {
+	mu sync.Mutex
+	m  map[uint64]Outcome
+}
+
+func newMapJournal() *mapJournal { return &mapJournal{m: map[uint64]Outcome{}} }
+
+func (j *mapJournal) Lookup(label string, jb Job) (Outcome, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	o, ok := j.m[JobKey(label, jb)]
+	return o, ok
+}
+
+func (j *mapJournal) Record(label string, jb Job, o Outcome) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.m[JobKey(label, jb)] = o
+}
+
+// journalFixFunc is a deterministic fake agent: success and iteration
+// count derive from the seed, final code from the input.
+func journalFixFunc(runs *atomic.Int64) FixFunc {
+	return func(_ context.Context, j Job) *agent.Transcript {
+		runs.Add(1)
+		return &agent.Transcript{
+			Success:    j.SampleSeed%2 == 0,
+			Iterations: int(j.SampleSeed % 5),
+			FinalCode:  "fixed:" + j.Code,
+			FixerRules: []string{fmt.Sprintf("rule-%d", j.SampleSeed)},
+		}
+	}
+}
+
+func journalJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Group: i / 2, Filename: "main.v",
+			Code: fmt.Sprintf("module m%d; endmodule", i), SampleSeed: int64(i + 1)}
+	}
+	return jobs
+}
+
+func TestRunJournaledRecordsAndResumes(t *testing.T) {
+	jobs := journalJobs(6)
+	j := newMapJournal()
+	var runs atomic.Int64
+
+	first, err := RunJournaled(context.Background(), Config{Workers: 3}, "exp/a", jobs, journalFixFunc(&runs), j)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if runs.Load() != 6 {
+		t.Fatalf("first run executed %d jobs, want 6", runs.Load())
+	}
+	if len(j.m) != 6 {
+		t.Fatalf("journal holds %d outcomes, want 6", len(j.m))
+	}
+
+	// Resume: nothing re-runs, summaries are identical.
+	runs.Store(0)
+	second, err := RunJournaled(context.Background(), Config{Workers: 3}, "exp/a", jobs, journalFixFunc(&runs), j)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if runs.Load() != 0 {
+		t.Fatalf("resume executed %d jobs, want 0", runs.Load())
+	}
+	s1, s2 := Summarize(first), Summarize(second)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("summaries differ across resume:\n%+v\n%+v", s1, s2)
+	}
+	for i := range first {
+		if first[i].Transcript.FinalCode != second[i].Transcript.FinalCode ||
+			first[i].Transcript.Success != second[i].Transcript.Success ||
+			first[i].Transcript.Iterations != second[i].Transcript.Iterations {
+			t.Fatalf("restored transcript %d differs", i)
+		}
+		if second[i].Job.Index != i {
+			t.Fatalf("restored result %d has index %d", i, second[i].Job.Index)
+		}
+	}
+
+	// A different label shares nothing.
+	runs.Store(0)
+	if _, err := RunJournaled(context.Background(), Config{Workers: 3}, "exp/b", jobs, journalFixFunc(&runs), j); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 6 {
+		t.Fatalf("foreign label reused entries: %d runs", runs.Load())
+	}
+}
+
+func TestRunJournaledPartialResume(t *testing.T) {
+	jobs := journalJobs(8)
+	j := newMapJournal()
+	var runs atomic.Int64
+	fn := journalFixFunc(&runs)
+
+	// Simulate a killed run: journal only the first half's outcomes.
+	full, err := Run(context.Background(), Config{Workers: 2}, jobs, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		r := full[i]
+		j.Record("exp", r.Job, OutcomeOf(r))
+	}
+
+	runs.Store(0)
+	resumed, err := RunJournaled(context.Background(), Config{Workers: 2}, "exp", jobs, fn, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 4 {
+		t.Fatalf("resume ran %d jobs, want the 4 unjournaled", runs.Load())
+	}
+	s1, s2 := Summarize(full), Summarize(resumed)
+	if !reflect.DeepEqual(s1.GroupTotal, s2.GroupTotal) || !reflect.DeepEqual(s1.GroupFixed, s2.GroupFixed) ||
+		s1.Succeeded != s2.Succeeded || s1.IterationHist != s2.IterationHist {
+		t.Fatalf("resumed summary differs:\n%+v\n%+v", s1, s2)
+	}
+	if len(j.m) != 8 {
+		t.Fatalf("resume journaled %d outcomes, want 8", len(j.m))
+	}
+}
+
+func TestRunJournaledHooksCoverRestoredJobs(t *testing.T) {
+	jobs := journalJobs(5)
+	j := newMapJournal()
+	var runs atomic.Int64
+	fn := journalFixFunc(&runs)
+	if _, err := RunJournaled(context.Background(), Config{Workers: 2}, "exp", jobs, fn, j); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var seen []int
+	lastDone, lastTotal := 0, 0
+	cfg := Config{
+		Workers: 2,
+		OnResult: func(r Result) {
+			mu.Lock()
+			seen = append(seen, r.Job.Index)
+			mu.Unlock()
+		},
+		OnProgress: func(done, total int) {
+			mu.Lock()
+			lastDone, lastTotal = done, total
+			mu.Unlock()
+		},
+	}
+	if _, err := RunJournaled(context.Background(), cfg, "exp", jobs, fn, j); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 5 {
+		t.Fatalf("OnResult saw %d restored jobs, want 5", len(seen))
+	}
+	if lastDone != 5 || lastTotal != 5 {
+		t.Fatalf("OnProgress ended at %d/%d, want 5/5", lastDone, lastTotal)
+	}
+}
+
+func TestRunJournaledDoesNotRecordCanceled(t *testing.T) {
+	jobs := journalJobs(4)
+	j := newMapJournal()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var runs atomic.Int64
+	results, err := RunJournaled(ctx, Config{Workers: 2}, "exp", jobs, journalFixFunc(&runs), j)
+	if err == nil {
+		t.Fatal("canceled run must report its context error")
+	}
+	if len(j.m) != 0 {
+		t.Fatalf("canceled jobs were journaled: %d", len(j.m))
+	}
+	for _, r := range results {
+		if r.Err == nil && r.Transcript == nil {
+			t.Fatal("canceled result must carry its error")
+		}
+	}
+}
+
+func TestJobKeyDiscriminates(t *testing.T) {
+	base := Job{Filename: "main.v", Code: "module m; endmodule", SampleSeed: 7}
+	k := JobKey("label", base)
+	alt := base
+	alt.SampleSeed = 8
+	if JobKey("label", alt) == k {
+		t.Fatal("seed must change the key")
+	}
+	alt = base
+	alt.Code = "module n; endmodule"
+	if JobKey("label", alt) == k {
+		t.Fatal("code must change the key")
+	}
+	if JobKey("other", base) == k {
+		t.Fatal("label must change the key")
+	}
+	// Group and index are deliberately excluded.
+	alt = base
+	alt.Group, alt.Index = 9, 4
+	if JobKey("label", alt) != k {
+		t.Fatal("group/index must not change the key")
+	}
+}

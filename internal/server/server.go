@@ -39,6 +39,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/store"
 )
 
 // Config tunes the service. The zero value is usable: every field has a
@@ -75,6 +76,14 @@ type Config struct {
 	DisableCoalesce bool
 	// DisableCache builds the pooled fixers without the memo layer.
 	DisableCache bool
+	// Store, when non-nil, is the durable state layer (internal/store)
+	// under every pooled fixer's caches: each fixer warm-starts from it
+	// at construction and writes fresh results behind, so a restarted
+	// daemon serves its first requests from cache. The caller owns the
+	// store's lifecycle (rtlfixerd flushes and closes it after drain);
+	// /v1/stats and /v1/healthz report its size, flush lag, and
+	// load/store counters.
+	Store *store.Store
 	// Logf, when non-nil, receives one line per lifecycle event
 	// (start/drain) — never one per request.
 	Logf func(format string, args ...any)
@@ -397,14 +406,27 @@ var errFixerPoolFull = errors.New("fixer pool full: too many distinct configurat
 // fixerFor returns the pooled fixer for a configuration, building it on
 // first use. The pool is the point of the daemon: every request against
 // the same configuration shares one compile cache and retrieval index.
+// Construction runs outside fixersMu — with a store attached it scans
+// persisted records (disk I/O), and that must never stall every other
+// request behind the pool lock. Racing builders of one configuration
+// both construct; the loser's fixer is discarded.
 func (s *Server) fixerFor(key fixerKey) (*core.RTLFixer, error) {
 	s.fixersMu.Lock()
-	defer s.fixersMu.Unlock()
 	if f, ok := s.fixers[key]; ok {
+		s.fixersMu.Unlock()
 		return f, nil
 	}
 	if len(s.fixers) >= maxFixerConfigs {
+		s.fixersMu.Unlock()
 		return nil, errFixerPoolFull
+	}
+	s.fixersMu.Unlock()
+
+	// A nil *store.Store must stay a nil Backing interface: a typed nil
+	// would read as "store present" inside core.New.
+	var backing store.Backing
+	if s.cfg.Store != nil {
+		backing = s.cfg.Store
 	}
 	f, err := core.New(core.Options{
 		CompilerName:  key.compiler,
@@ -414,9 +436,19 @@ func (s *Server) fixerFor(key fixerKey) (*core.RTLFixer, error) {
 		MaxIterations: key.iters,
 		Seed:          s.cfg.Seed,
 		Cache:         !s.cfg.DisableCache,
+		Store:         backing,
 	})
 	if err != nil {
 		return nil, err
+	}
+
+	s.fixersMu.Lock()
+	defer s.fixersMu.Unlock()
+	if cur, ok := s.fixers[key]; ok {
+		return cur, nil // a racer registered first; serve its fixer
+	}
+	if len(s.fixers) >= maxFixerConfigs {
+		return nil, errFixerPoolFull
 	}
 	s.fixers[key] = f
 	return f, nil
@@ -539,17 +571,25 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz serves GET /v1/healthz; a draining server answers 503 so
-// load balancers stop routing to it.
+// load balancers stop routing to it. With a durable store attached, the
+// body carries its size and flush lag so operators can see unflushed
+// work at a glance.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.st.healthzRequests.Inc()
+	body := map[string]any{}
+	if s.cfg.Store != nil {
+		// Brief, not Stats: healthz is polled, and the full snapshot
+		// walks the whole index under the store's serving mutex.
+		body["store"] = s.cfg.Store.Brief()
+	}
 	if s.isDraining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		body["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"uptime_ms": msSince(s.start),
-	})
+	body["status"] = "ok"
+	body["uptime_ms"] = msSince(s.start)
+	writeJSON(w, http.StatusOK, body)
 }
 
 func msSince(t time.Time) float64 {

@@ -8,10 +8,10 @@ package server
 import (
 	"net/http"
 	"strconv"
-	"sync/atomic"
 
 	"repro/internal/memo"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 // statusCodes are the statuses the service can emit; anything else lands
@@ -41,7 +41,7 @@ type serverStats struct {
 
 	batches     metrics.Counter
 	batchedJobs metrics.Counter
-	maxBatch    atomic.Int64
+	maxBatch    metrics.Gauge
 
 	queueDepth metrics.Gauge
 	inFlight   metrics.Gauge
@@ -68,14 +68,7 @@ func (st *serverStats) countStatus(code int) {
 }
 
 // recordBatchSize keeps a running maximum of dispatch batch sizes.
-func (st *serverStats) recordBatchSize(n int) {
-	for {
-		cur := st.maxBatch.Load()
-		if int64(n) <= cur || st.maxBatch.CompareAndSwap(cur, int64(n)) {
-			return
-		}
-	}
-}
+func (st *serverStats) recordBatchSize(n int) { st.maxBatch.Max(int64(n)) }
 
 // StatsSnapshot is the GET /v1/stats response body.
 type StatsSnapshot struct {
@@ -123,14 +116,38 @@ type StatsSnapshot struct {
 	LatencyFixMS  metrics.HistogramSnapshot `json:"latency_fix_ms"`
 	LatencyLintMS metrics.HistogramSnapshot `json:"latency_lint_ms"`
 
-	// Cache mirrors memo.Totals(): the process-wide compile-cache and
-	// retrieval-index counters behind every pooled fixer.
+	// Cache mirrors memo.Totals(): the process-wide memoization counters
+	// behind every pooled fixer. The aggregate fields are kept for
+	// compatibility; Compile/Sim/Retrieval break the same counters out
+	// per cache layer (memo.TotalsByKind) so warm-start effectiveness is
+	// observable per layer.
 	Cache struct {
 		Hits      uint64 `json:"hits"`
 		Misses    uint64 `json:"misses"`
 		Evictions uint64 `json:"evictions"`
 		Lookups   uint64 `json:"lookups"`
+
+		Compile   CacheLayerStats `json:"compile"`
+		Sim       CacheLayerStats `json:"sim"`
+		Retrieval CacheLayerStats `json:"retrieval"`
 	} `json:"cache"`
+
+	// Store, present when the daemon runs with -state-dir, is the durable
+	// state layer's snapshot: record counts, journal size, flush lag, and
+	// load/store counters.
+	Store *store.Stats `json:"store,omitempty"`
+}
+
+// CacheLayerStats is one cache layer's counters (memo.Stats, JSON-ready).
+type CacheLayerStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Lookups   uint64 `json:"lookups"`
+}
+
+func cacheLayer(s memo.Stats) CacheLayerStats {
+	return CacheLayerStats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Lookups: s.Lookups}
 }
 
 // Stats snapshots the live counters (also what /v1/stats serves).
@@ -165,7 +182,7 @@ func (s *Server) Stats() StatsSnapshot {
 
 	snap.Dispatch.Batches = st.batches.Value()
 	snap.Dispatch.BatchedJobs = st.batchedJobs.Value()
-	snap.Dispatch.MaxBatch = st.maxBatch.Load()
+	snap.Dispatch.MaxBatch = st.maxBatch.Value()
 	if b := snap.Dispatch.Batches; b > 0 {
 		snap.Dispatch.MeanBatch = float64(snap.Dispatch.BatchedJobs) / float64(b)
 	}
@@ -185,6 +202,15 @@ func (s *Server) Stats() StatsSnapshot {
 	snap.Cache.Misses = t.Misses
 	snap.Cache.Evictions = t.Evictions
 	snap.Cache.Lookups = t.Lookups
+	byKind := memo.TotalsByKind()
+	snap.Cache.Compile = cacheLayer(byKind.Compile)
+	snap.Cache.Sim = cacheLayer(byKind.Sim)
+	snap.Cache.Retrieval = cacheLayer(byKind.Retrieval)
+
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		snap.Store = &st
+	}
 	return snap
 }
 

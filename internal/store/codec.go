@@ -1,0 +1,361 @@
+// Record framing and payload codec for the store.
+//
+// One frame (shared by the journal and CAS files):
+//
+//	kind  u8
+//	key   u64 LE
+//	len   u32 LE        payload length
+//	crc   u32 LE        CRC-32 (IEEE) over kind | key | payload
+//	data  [len]byte
+//
+// The journal is a fixed 8-byte header ("RSJL" + u16 version + u16
+// reserved) followed by frames; a CAS file is an 8-byte header ("RSCS" +
+// u16 version + u16 reserved) followed by exactly one frame. Any header
+// whose magic or version does not match is ignored wholesale.
+//
+// Payload contents are the adapters' business; Encoder/Decoder below give
+// them a shared, allocation-light binary form (every adapter payload
+// starts with its own one-byte schema version).
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+const (
+	journalMagic      = "RSJL"
+	casMagic          = "RSCS"
+	schemaVersion     = 1
+	journalHeaderSize = 8
+	casHeaderSize     = 8
+	frameHeaderSize   = 1 + 8 + 4 + 4
+	// maxFrame bounds a single record so a corrupt length field cannot
+	// drive a giant allocation during replay.
+	maxFrame = 64 << 20
+)
+
+// encodeFrame renders one record frame.
+func encodeFrame(id recID, data []byte) []byte {
+	buf := make([]byte, frameHeaderSize+len(data))
+	buf[0] = byte(id.kind)
+	binary.LittleEndian.PutUint64(buf[1:9], id.key)
+	binary.LittleEndian.PutUint32(buf[9:13], uint32(len(data)))
+	binary.LittleEndian.PutUint32(buf[13:17], frameCRC(id, data))
+	copy(buf[frameHeaderSize:], data)
+	return buf
+}
+
+// decodeFrame parses and verifies one complete frame.
+func decodeFrame(buf []byte) (recID, []byte, bool) {
+	if len(buf) < frameHeaderSize {
+		return recID{}, nil, false
+	}
+	id := recID{Kind(buf[0]), binary.LittleEndian.Uint64(buf[1:9])}
+	n := binary.LittleEndian.Uint32(buf[9:13])
+	if uint64(n) > maxFrame || len(buf) != frameHeaderSize+int(n) {
+		return recID{}, nil, false
+	}
+	data := buf[frameHeaderSize:]
+	if binary.LittleEndian.Uint32(buf[13:17]) != frameCRC(id, data) {
+		return recID{}, nil, false
+	}
+	return id, data, true
+}
+
+func frameCRC(id recID, data []byte) uint32 {
+	h := crc32.NewIEEE()
+	var hdr [9]byte
+	hdr[0] = byte(id.kind)
+	binary.LittleEndian.PutUint64(hdr[1:], id.key)
+	h.Write(hdr[:])
+	h.Write(data)
+	return h.Sum32()
+}
+
+func header(magic string) []byte {
+	h := make([]byte, 8)
+	copy(h, magic)
+	binary.LittleEndian.PutUint16(h[4:6], schemaVersion)
+	return h
+}
+
+func headerOK(buf []byte, magic string) bool {
+	return len(buf) >= 8 && string(buf[:4]) == magic &&
+		binary.LittleEndian.Uint16(buf[4:6]) == schemaVersion
+}
+
+func writeJournalHeader(f *os.File) error {
+	if _, err := f.WriteAt(header(journalMagic), 0); err != nil {
+		return fmt.Errorf("store: write journal header: %w", err)
+	}
+	return f.Sync()
+}
+
+func journalHeaderOK(f *os.File) bool {
+	buf := make([]byte, journalHeaderSize)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return false
+	}
+	return headerOK(buf, journalMagic)
+}
+
+// replayJournal walks the journal's frames, reporting each verified
+// record's location, and returns the offset after the last good record —
+// everything beyond it is torn tail to truncate. Only genuine I/O errors
+// (not corruption) are returned as err.
+func replayJournal(f *os.File, visit func(id recID, off int64, n int)) (good int64, records int, err error) {
+	off := int64(journalHeaderSize)
+	hdr := make([]byte, frameHeaderSize)
+	for {
+		if _, rerr := f.ReadAt(hdr, off); rerr != nil {
+			if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+				return off, records, nil
+			}
+			return 0, 0, fmt.Errorf("store: replay journal: %w", rerr)
+		}
+		n := binary.LittleEndian.Uint32(hdr[9:13])
+		if uint64(n) > maxFrame {
+			return off, records, nil // corrupt length: stop here
+		}
+		frame := make([]byte, frameHeaderSize+int(n))
+		if _, rerr := f.ReadAt(frame, off); rerr != nil {
+			if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+				return off, records, nil // torn tail
+			}
+			return 0, 0, fmt.Errorf("store: replay journal: %w", rerr)
+		}
+		id, _, ok := decodeFrame(frame)
+		if !ok {
+			return off, records, nil // CRC fail: stop at last good record
+		}
+		visit(id, off, len(frame))
+		off += int64(len(frame))
+		records++
+	}
+}
+
+// casHeaderOK reports whether a CAS file carries the current schema.
+func casHeaderOK(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	buf := make([]byte, casHeaderSize)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return false
+	}
+	return headerOK(buf, casMagic)
+}
+
+// readCASFile reads and verifies one CAS record, checking that its
+// content matches the identity its name promised.
+func readCASFile(path string, want recID) ([]byte, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !headerOK(buf, casMagic) {
+		return nil, fmt.Errorf("store: %s: stale or foreign schema", path)
+	}
+	id, data, ok := decodeFrame(buf[casHeaderSize:])
+	if !ok || id != want {
+		return nil, fmt.Errorf("store: %s: corrupt record", path)
+	}
+	return data, nil
+}
+
+// writeCASFile writes one record atomically: temp file in the same
+// directory, fsync, rename.
+func writeCASFile(path string, id recID, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(header(casMagic)); err == nil {
+		_, err = tmp.Write(encodeFrame(id, data))
+		if err == nil {
+			err = tmp.Sync()
+		}
+	} else {
+		tmp.Close()
+		return err
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ---------- payload codec ----------
+
+// HashBytes is the store's content-address helper: FNV-64a, the same
+// family the memo layer keys with. Adapters build keys by hashing the
+// identity fields of their record, separated by NUL bytes.
+func HashBytes(parts ...[]byte) uint64 {
+	h := fnv.New64a()
+	for i, p := range parts {
+		if i > 0 {
+			h.Write([]byte{0})
+		}
+		h.Write(p)
+	}
+	return h.Sum64()
+}
+
+// HashStrings is HashBytes over strings.
+func HashStrings(parts ...string) uint64 {
+	h := fnv.New64a()
+	for i, p := range parts {
+		if i > 0 {
+			h.Write([]byte{0})
+		}
+		h.Write([]byte(p))
+	}
+	return h.Sum64()
+}
+
+// Encoder builds a record payload. Adapters start payloads with their own
+// schema-version byte (U8) so stale payloads are detected and skipped.
+type Encoder struct{ buf []byte }
+
+// Bytes returns the accumulated payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// U8 appends a byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// Bool appends a boolean.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// I64 appends an int64 (two's complement).
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Varint appends a signed varint (for small ints like positions).
+func (e *Encoder) Varint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Varint(int64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Decoder reads a record payload. The first decode error sticks; callers
+// check Err (or Ok) once at the end instead of after every field.
+type Decoder struct {
+	b   []byte
+	err error
+}
+
+// NewDecoder wraps a payload.
+func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
+
+// Err returns the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Ok reports whether every read so far succeeded and the payload was
+// fully consumed.
+func (d *Decoder) Ok() bool { return d.err == nil && len(d.b) == 0 }
+
+func (d *Decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("store: truncated payload")
+	}
+}
+
+// U8 reads a byte.
+func (d *Decoder) U8() uint8 {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+// Bool reads a boolean.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+// I64 reads an int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Varint reads a signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Varint()
+	if d.err != nil || n < 0 || int64(len(d.b)) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}

@@ -1,0 +1,855 @@
+// Package store is the durable, content-addressed state layer under the
+// memoization caches and the benchmark runner: an on-disk CAS plus an
+// append-only journal, built so every byte read back is either verified
+// or ignored — never misread.
+//
+// Layout of a state directory:
+//
+//	state/
+//	  journal.log          append-only record log (write-behind target)
+//	  cas/<xx>/<kk>-<key>.rec   one compacted record per file
+//
+// Records are content-addressed by a 64-bit FNV-64a key chosen by the
+// consumer (the same hash family the memo layer uses), namespaced by a
+// one-byte Kind. The store guarantees integrity, not uniqueness: a CRC32
+// guards every record, and consumers keep enough of the original content
+// inside the payload to detect an FNV collision and degrade it to a miss.
+//
+// Durability model (the DAQ journal-and-compact pattern from PAPERS.md):
+//
+//   - Put is write-behind: records accumulate in memory and a background
+//     flusher appends them to the journal in batches (fsync per flush),
+//     so the serving hot path never waits on disk.
+//   - The journal grows until CompactBytes, then compaction rewrites each
+//     journal-resident record as its own CAS file (temp file + rename,
+//     both fsynced) and truncates the journal — the snapshot.
+//   - Open replays CAS files then the journal (journal wins). A torn or
+//     corrupt journal tail — the normal result of a crash mid-append — is
+//     detected by CRC/short-read and truncated back to the last good
+//     record; the process recovers instead of failing.
+//   - Both the journal and CAS files carry a versioned schema header.
+//     A header from a different version is ignored wholesale (the
+//     journal is rotated aside, the CAS file skipped), never parsed.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Kind namespaces records: each persistence adapter owns one. The byte is
+// part of every record's identity on disk, so adapters never collide.
+type Kind uint8
+
+// Registered record kinds. New adapters claim the next free value; a kind
+// is a schema commitment, so values are never reused.
+const (
+	// KindCompile is a compiler persona result (internal/memo CompileCache).
+	KindCompile Kind = 1
+	// KindSimSource is a simulation-oracle source text (memo SimCache):
+	// replay-style persistence, the record is the input to recompile.
+	KindSimSource Kind = 2
+	// KindRetrieval is a precompiled retrieval index image (memo).
+	KindRetrieval Kind = 3
+	// KindBenchJob is one completed benchmark job outcome (internal/bench).
+	KindBenchJob Kind = 4
+)
+
+// KindName names a kind for stats output.
+func KindName(k Kind) string {
+	switch k {
+	case KindCompile:
+		return "compile"
+	case KindSimSource:
+		return "sim-source"
+	case KindRetrieval:
+		return "retrieval"
+	case KindBenchJob:
+		return "bench-job"
+	}
+	return fmt.Sprintf("kind-%d", k)
+}
+
+// Backing is the slice of Store the persistence adapters consume. It is
+// an interface so tests can substitute an in-memory fake, and so packages
+// above the adapters (core, bench) can accept "some durable backing"
+// without committing to the on-disk implementation.
+type Backing interface {
+	// Get returns the stored payload for (kind, key), or false. The
+	// payload has already passed the CRC check; collision detection
+	// against the original content is the caller's job.
+	Get(kind Kind, key uint64) ([]byte, bool)
+	// Put schedules a payload for durable storage (write-behind: it is
+	// immediately visible to Get, durable after the next flush).
+	Put(kind Kind, key uint64, data []byte)
+	// Load streams every live record of one kind, in unspecified order.
+	Load(kind Kind, fn func(key uint64, data []byte))
+	// Flush forces pending writes to durable storage.
+	Flush() error
+}
+
+// Options tunes a Store. The zero value is serving-sensible.
+type Options struct {
+	// FlushInterval is the write-behind cadence; <= 0 means 200ms.
+	FlushInterval time.Duration
+	// FlushBatch is the pending-record count that triggers an immediate
+	// flush ahead of the interval; <= 0 means 256.
+	FlushBatch int
+	// CompactBytes is the journal size that triggers compaction into CAS
+	// files; <= 0 means 8 MiB.
+	CompactBytes int64
+	// NoFlusher disables the background flusher; callers drive Flush
+	// themselves (tests, one-shot CLIs that flush at exit).
+	NoFlusher bool
+	// Logf, when non-nil, receives one line per lifecycle event (open,
+	// recovery, compaction) — never one per record.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 200 * time.Millisecond
+	}
+	if o.FlushBatch <= 0 {
+		o.FlushBatch = 256
+	}
+	if o.CompactBytes <= 0 {
+		o.CompactBytes = 8 << 20
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// recID is a record's identity: kind plus content address.
+type recID struct {
+	kind Kind
+	key  uint64
+}
+
+// loc says where a live record's durable copy is.
+type loc struct {
+	// journal is true when the record lives in the journal at [off, off+n);
+	// false means a CAS file (path derived from the id).
+	journal bool
+	off     int64
+	n       int
+}
+
+// Stats is a point-in-time snapshot of the store, JSON-ready for
+// /v1/stats embedding.
+type Stats struct {
+	Dir            string `json:"dir"`
+	Records        int    `json:"records"`
+	CASFiles       int    `json:"cas_files"`
+	JournalRecords int    `json:"journal_records"`
+	JournalBytes   int64  `json:"journal_bytes"`
+	Pending        int    `json:"pending"`
+	// FlushLagMS is the age of the oldest unflushed Put (0 when clean):
+	// the window of work a crash right now would lose.
+	FlushLagMS float64 `json:"flush_lag_ms"`
+	// LoadedAtOpen counts records the last Open found on disk.
+	LoadedAtOpen int `json:"loaded_at_open"`
+	// RecoveredTailBytes is how much torn journal tail Open truncated.
+	RecoveredTailBytes int64 `json:"recovered_tail_bytes"`
+	// ByKind counts live records per kind name.
+	ByKind map[string]int `json:"by_kind"`
+
+	Loads       uint64 `json:"loads"`
+	LoadHits    uint64 `json:"load_hits"`
+	Stores      uint64 `json:"stores"`
+	Flushes     uint64 `json:"flushes"`
+	Compactions uint64 `json:"compactions"`
+	IOErrors    uint64 `json:"io_errors"`
+}
+
+// Store is the on-disk implementation of Backing. All methods are safe
+// for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu sync.Mutex
+	// pending holds written-behind records not yet handed to the flusher;
+	// inflight holds the batch currently being written. Get consults
+	// both before the durable index, so a Put is immediately visible.
+	pending      map[recID][]byte
+	pendingOrder []recID
+	inflight     map[recID][]byte
+	firstPending time.Time
+	index        map[recID]loc
+	journalSize  int64
+
+	journal *os.File
+	// lock holds the state directory's flock for the store's lifetime
+	// (released by Close, or by the OS when the process dies).
+	lock *os.File
+
+	// flushMu serializes Flush/compaction (single journal writer).
+	flushMu sync.Mutex
+
+	kick      chan struct{}
+	closeOnce sync.Once
+	stop      chan struct{}
+	flusherWG sync.WaitGroup
+
+	// counters (guarded by mu; reads via Stats take mu too).
+	loads, loadHits, stores uint64
+	flushes, compactions    uint64
+	ioErrors                uint64
+	loadedAtOpen            int
+	recoveredTail           int64
+}
+
+// Open opens (or initializes) the state directory and replays its
+// contents into the in-memory index. A corrupt journal tail is truncated
+// to the last good record; a journal with an unknown schema version is
+// rotated aside untouched and a fresh one started.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(filepath.Join(dir, casDir), 0o777); err != nil {
+		return nil, fmt.Errorf("store: init %s: %w", dir, err)
+	}
+	// Single-writer exclusivity: two processes appending to one journal
+	// would interleave frames at clashing offsets and the next replay
+	// would discard everything past the first overlap as a torn tail.
+	// flock (not a lock file) so a crashed owner's lock dies with it and
+	// recovery is never blocked by stale state.
+	lockFile, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("store: open lock: %w", err)
+	}
+	if err := syscall.Flock(int(lockFile.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lockFile.Close()
+		return nil, fmt.Errorf("store: %s is in use by another process (flock: %w)", dir, err)
+	}
+	s := &Store{
+		dir:      dir,
+		opts:     opts,
+		lock:     lockFile,
+		pending:  map[recID][]byte{},
+		inflight: map[recID][]byte{},
+		index:    map[recID]loc{},
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+	if err := s.scanCAS(); err != nil {
+		lockFile.Close()
+		return nil, err
+	}
+	if err := s.openJournal(); err != nil {
+		lockFile.Close()
+		return nil, err
+	}
+	s.loadedAtOpen = len(s.index)
+	opts.logf("store: opened %s (%d records, %d journal bytes, recovered %d tail bytes)",
+		dir, len(s.index), s.journalSize-journalHeaderSize, s.recoveredTail)
+	if !opts.NoFlusher {
+		s.flusherWG.Add(1)
+		go s.flusher()
+	}
+	return s, nil
+}
+
+// Dir returns the state directory.
+func (s *Store) Dir() string { return s.dir }
+
+// scanCAS indexes every readable CAS file. Unreadable or stale-format
+// files are skipped (ignored, not misread); they are overwritten by the
+// next compaction of a record with the same identity.
+func (s *Store) scanCAS() error {
+	root := filepath.Join(s.dir, casDir)
+	fanouts, err := os.ReadDir(root)
+	if err != nil {
+		return fmt.Errorf("store: scan %s: %w", root, err)
+	}
+	n := 0
+	for _, fan := range fanouts {
+		if !fan.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(root, fan.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			id, ok := parseCASName(f.Name())
+			if !ok {
+				continue
+			}
+			// Header check only at scan time; payload CRC is verified
+			// lazily on Get/Load, where a bad record degrades to a miss.
+			if !casHeaderOK(filepath.Join(root, fan.Name(), f.Name())) {
+				continue
+			}
+			s.index[id] = loc{journal: false}
+			n++
+		}
+	}
+	return nil
+}
+
+// openJournal opens, validates, and replays the journal. Records replayed
+// from the journal override CAS entries with the same identity (they are
+// newer by construction: compaction truncates the journal).
+func (s *Store) openJournal() error {
+	path := s.journalPath()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		return fmt.Errorf("store: open journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: stat journal: %w", err)
+	}
+	switch {
+	case st.Size() == 0:
+		if err := writeJournalHeader(f); err != nil {
+			f.Close()
+			return err
+		}
+		s.journal, s.journalSize = f, journalHeaderSize
+		return nil
+	case st.Size() < journalHeaderSize || !journalHeaderOK(f):
+		// Unknown schema (or a file too short to even carry one): rotate
+		// the old journal aside rather than parse or destroy it.
+		f.Close()
+		stale := path + ".stale"
+		_ = os.Remove(stale)
+		if err := os.Rename(path, stale); err != nil {
+			return fmt.Errorf("store: rotate stale journal: %w", err)
+		}
+		s.opts.logf("store: journal schema unknown; rotated to %s", stale)
+		return s.openJournal()
+	}
+
+	// Replay: read frames until the tail stops verifying, then truncate
+	// there — the crash-recovery invariant.
+	good, ids, err := replayJournal(f, func(id recID, off int64, n int) {
+		s.index[id] = loc{journal: true, off: off, n: n}
+	})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if good < st.Size() {
+		s.recoveredTail = st.Size() - good
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return fmt.Errorf("store: truncate torn journal tail: %w", err)
+		}
+		s.opts.logf("store: recovered journal: truncated %d torn tail bytes after %d good records",
+			s.recoveredTail, ids)
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("store: seek journal: %w", err)
+	}
+	s.journal, s.journalSize = f, good
+	return nil
+}
+
+// Get implements Backing.
+func (s *Store) Get(kind Kind, key uint64) ([]byte, bool) {
+	id := recID{kind, key}
+	s.mu.Lock()
+	s.loads++
+	if d, ok := s.pending[id]; ok {
+		s.loadHits++
+		s.mu.Unlock()
+		return d, true
+	}
+	if d, ok := s.inflight[id]; ok {
+		s.loadHits++
+		s.mu.Unlock()
+		return d, true
+	}
+	s.mu.Unlock()
+	d, ok := s.getDurable(id)
+	if ok {
+		s.mu.Lock()
+		s.loadHits++
+		s.mu.Unlock()
+	}
+	return d, ok
+}
+
+// getDurable reads the durable copy of a record without holding the
+// store mutex across disk I/O (Put and concurrent Gets must never stall
+// on a file read). The loc snapshot can go stale while we read — a
+// compaction may move the record from journal to CAS — so a failed read
+// retries once against the current index entry and only evicts the
+// record when the entry we read is still the live one.
+func (s *Store) getDurable(id recID) ([]byte, bool) {
+	s.mu.Lock()
+	l, ok := s.index[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		d, err := s.readRecord(id, l)
+		if err == nil {
+			return d, true
+		}
+		s.mu.Lock()
+		cur, ok := s.index[id]
+		switch {
+		case !ok:
+			s.mu.Unlock()
+			return nil, false
+		case cur == l:
+			// The durable copy genuinely failed verification: drop it so
+			// the consumer recomputes and rewrites it.
+			delete(s.index, id)
+			s.ioErrors++
+			s.mu.Unlock()
+			return nil, false
+		}
+		l = cur // moved by a concurrent compaction; retry there
+		s.mu.Unlock()
+	}
+	return nil, false
+}
+
+// readRecord fetches and verifies one durable record. Safe without the
+// store mutex: the journal handle is fixed for the store's lifetime,
+// ReadAt carries no file-position state, and CAS files only ever appear
+// whole via rename — a stale loc fails verification, it cannot misread.
+func (s *Store) readRecord(id recID, l loc) ([]byte, error) {
+	if l.journal {
+		buf := make([]byte, l.n)
+		if _, err := s.journal.ReadAt(buf, l.off); err != nil {
+			return nil, err
+		}
+		gotID, data, ok := decodeFrame(buf)
+		if !ok || gotID != id {
+			return nil, fmt.Errorf("store: journal record %x corrupt", id.key)
+		}
+		return data, nil
+	}
+	return readCASFile(s.casPath(id), id)
+}
+
+// Put implements Backing. It never blocks on disk; durability follows at
+// the next flush (background, or explicit Flush/Close).
+func (s *Store) Put(kind Kind, key uint64, data []byte) {
+	if len(data) > maxFrame-frameHeaderSize {
+		// An oversized frame must never reach the journal: replay rejects
+		// frames above maxFrame, so one would read as a torn tail at the
+		// next Open and take every later record down with it.
+		s.mu.Lock()
+		s.ioErrors++
+		s.mu.Unlock()
+		s.opts.logf("store: dropping oversized %s record %016x (%d bytes)", KindName(kind), key, len(data))
+		return
+	}
+	id := recID{kind, key}
+	d := append([]byte(nil), data...) // callers may reuse their buffer
+	s.mu.Lock()
+	if _, dup := s.pending[id]; !dup {
+		s.pendingOrder = append(s.pendingOrder, id)
+	}
+	if len(s.pending) == 0 {
+		s.firstPending = time.Now()
+	}
+	s.pending[id] = d
+	s.stores++
+	full := len(s.pending) >= s.opts.FlushBatch
+	s.mu.Unlock()
+	if full {
+		select {
+		case s.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Load implements Backing.
+func (s *Store) Load(kind Kind, fn func(key uint64, data []byte)) {
+	// Snapshot identities under the lock, read durable payloads outside
+	// it (a warm load must not freeze every concurrent Put/Get), then
+	// deliver so fn may take its own locks freely.
+	type rec struct {
+		key  uint64
+		data []byte
+	}
+	var out []rec
+	var durable []recID
+	s.mu.Lock()
+	seen := map[uint64]bool{}
+	for id, d := range s.pending {
+		if id.kind == kind {
+			out = append(out, rec{id.key, d})
+			seen[id.key] = true
+		}
+	}
+	for id, d := range s.inflight {
+		if id.kind == kind && !seen[id.key] {
+			out = append(out, rec{id.key, d})
+			seen[id.key] = true
+		}
+	}
+	for id := range s.index {
+		if id.kind == kind && !seen[id.key] {
+			durable = append(durable, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range durable {
+		if d, ok := s.getDurable(id); ok {
+			out = append(out, rec{id.key, d})
+		}
+	}
+	// Deterministic delivery order makes warm-start behaviour (e.g. which
+	// entries survive a capacity-bounded load) reproducible.
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	for _, r := range out {
+		fn(r.key, r.data)
+	}
+}
+
+// Flush implements Backing: drain pending records to the journal and
+// fsync. Compaction follows when the journal has outgrown its budget.
+func (s *Store) Flush() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	s.mu.Lock()
+	if len(s.pending) == 0 {
+		s.mu.Unlock()
+		return s.maybeCompact()
+	}
+	batch := s.pending
+	order := s.pendingOrder
+	s.inflight = batch
+	s.pending = map[recID][]byte{}
+	s.pendingOrder = nil
+	base := s.journalSize
+	s.mu.Unlock()
+
+	// Encode the whole batch into one buffer, append, one fsync.
+	var buf []byte
+	offs := make(map[recID]loc, len(batch))
+	at := base
+	for _, id := range order {
+		frame := encodeFrame(id, batch[id])
+		offs[id] = loc{journal: true, off: at, n: len(frame)}
+		at += int64(len(frame))
+		buf = append(buf, frame...)
+	}
+	_, werr := s.journal.WriteAt(buf, base)
+	if werr == nil {
+		werr = s.journal.Sync()
+	}
+
+	s.mu.Lock()
+	if werr != nil {
+		// Keep the batch pending so nothing is silently lost; merge it
+		// under any newer puts (newer wins).
+		for _, id := range order {
+			if _, dup := s.pending[id]; !dup {
+				s.pendingOrder = append(s.pendingOrder, id)
+				s.pending[id] = batch[id]
+			}
+		}
+		s.inflight = map[recID][]byte{}
+		s.ioErrors++
+		s.mu.Unlock()
+		return fmt.Errorf("store: journal append: %w", werr)
+	}
+	for id, l := range offs {
+		s.index[id] = l
+	}
+	s.journalSize = at
+	s.inflight = map[recID][]byte{}
+	// Puts that raced the disk write restarted the lag clock themselves
+	// (pending was empty at swap time); only a truly clean store resets.
+	if len(s.pending) == 0 {
+		s.firstPending = time.Time{}
+	}
+	s.flushes++
+	s.mu.Unlock()
+	return s.maybeCompact()
+}
+
+// maybeCompact runs compaction when the journal exceeds its budget.
+// Caller holds flushMu.
+func (s *Store) maybeCompact() error {
+	s.mu.Lock()
+	over := s.journalSize-journalHeaderSize > s.opts.CompactBytes
+	s.mu.Unlock()
+	if !over {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+// Compact forces a compaction: every journal-resident record becomes its
+// own CAS file and the journal is truncated back to its header.
+func (s *Store) Compact() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	// Collect journal-resident records.
+	s.mu.Lock()
+	var ids []recID
+	for id, l := range s.index {
+		if l.journal {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].kind != ids[j].kind {
+			return ids[i].kind < ids[j].kind
+		}
+		return ids[i].key < ids[j].key
+	})
+	locs := make([]loc, len(ids))
+	for i, id := range ids {
+		locs[i] = s.index[id]
+	}
+	s.mu.Unlock()
+
+	// Journal reads can proceed without the store mutex: compaction runs
+	// under flushMu, so no concurrent flush or truncate moves them.
+	payloads := make([][]byte, len(ids))
+	for i, id := range ids {
+		d, err := s.readRecord(id, locs[i])
+		if err != nil {
+			payloads[i] = nil // dropped: CRC said it never safely existed
+			continue
+		}
+		payloads[i] = d
+	}
+
+	// Write every CAS file durably BEFORE touching the journal: a crash
+	// in between leaves duplicates (journal wins on replay), never loss.
+	dirs := map[string]bool{}
+	written := 0
+	for i, id := range ids {
+		if payloads[i] == nil {
+			continue
+		}
+		path := s.casPath(id)
+		if err := writeCASFile(path, id, payloads[i]); err != nil {
+			s.mu.Lock()
+			s.ioErrors++
+			s.mu.Unlock()
+			return fmt.Errorf("store: compact %s: %w", path, err)
+		}
+		dirs[filepath.Dir(path)] = true
+		written++
+	}
+	for d := range dirs {
+		syncDir(d)
+	}
+	syncDir(filepath.Join(s.dir, casDir))
+
+	// Re-point the index BEFORE truncating: a concurrent Get that
+	// snapshotted a journal loc and loses the race reads the CAS copy on
+	// its retry instead of mistaking the truncation for corruption and
+	// evicting a live record. Crash-wise the order is free — until the
+	// truncate lands, replay restores the same records from the journal.
+	s.mu.Lock()
+	for i, id := range ids {
+		if payloads[i] == nil {
+			delete(s.index, id)
+			continue
+		}
+		s.index[id] = loc{journal: false}
+	}
+	s.mu.Unlock()
+
+	if err := s.journal.Truncate(journalHeaderSize); err != nil {
+		return fmt.Errorf("store: truncate journal: %w", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("store: sync journal: %w", err)
+	}
+
+	s.mu.Lock()
+	s.journalSize = journalHeaderSize
+	s.compactions++
+	s.mu.Unlock()
+	s.opts.logf("store: compacted %d records into CAS", written)
+	return nil
+}
+
+// flusher is the write-behind loop: flush on a cadence, or sooner when a
+// batch fills up.
+func (s *Store) flusher() {
+	defer s.flusherWG.Done()
+	t := time.NewTicker(s.opts.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		case <-s.kick:
+		}
+		if err := s.Flush(); err != nil {
+			s.opts.logf("store: background flush: %v", err)
+		}
+	}
+}
+
+// Close flushes pending records and releases the journal. Further Puts
+// are lost; callers stop producing before closing (rtlfixerd drains
+// first).
+func (s *Store) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.flusherWG.Wait()
+		err = s.Flush()
+		if cerr := s.journal.Close(); err == nil {
+			err = cerr
+		}
+		_ = s.lock.Close() // releases the flock
+	})
+	return err
+}
+
+// BriefStats is the cheap health view of the store.
+type BriefStats struct {
+	Records    int     `json:"records"`
+	Pending    int     `json:"pending"`
+	FlushLagMS float64 `json:"flush_lag_ms"`
+}
+
+// Brief returns the health-check essentials at O(pending) cost —
+// pending is bounded by the flush batch, while the full Stats walks the
+// whole index (unbounded on a long-lived daemon) under the same mutex
+// the serving path needs. Pollers (healthz) use this; the full Stats is
+// for operator-initiated /v1/stats reads.
+func (s *Store) Brief() BriefStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := BriefStats{Records: len(s.index)}
+	for id := range s.pending {
+		b.Pending++
+		if _, durable := s.index[id]; !durable {
+			b.Records++
+		}
+	}
+	for id := range s.inflight {
+		if _, dup := s.pending[id]; dup {
+			continue
+		}
+		b.Pending++
+		if _, durable := s.index[id]; !durable {
+			b.Records++
+		}
+	}
+	if !s.firstPending.IsZero() && b.Pending > 0 {
+		b.FlushLagMS = float64(time.Since(s.firstPending)) / float64(time.Millisecond)
+	}
+	return b
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Dir:                s.dir,
+		JournalBytes:       s.journalSize - journalHeaderSize,
+		LoadedAtOpen:       s.loadedAtOpen,
+		RecoveredTailBytes: s.recoveredTail,
+		ByKind:             map[string]int{},
+		Loads:              s.loads,
+		LoadHits:           s.loadHits,
+		Stores:             s.stores,
+		Flushes:            s.flushes,
+		Compactions:        s.compactions,
+		IOErrors:           s.ioErrors,
+	}
+	// Records and ByKind count each live identity once, even when a key
+	// is both durable and re-Put (pending shadows the durable copy).
+	count := func(id recID) {
+		st.Records++
+		st.ByKind[KindName(id.kind)]++
+	}
+	seen := map[recID]bool{}
+	for id := range s.index {
+		if l := s.index[id]; !l.journal {
+			st.CASFiles++
+		} else {
+			st.JournalRecords++
+		}
+		count(id)
+		seen[id] = true
+	}
+	for id := range s.pending {
+		st.Pending++
+		if !seen[id] {
+			count(id)
+			seen[id] = true
+		}
+	}
+	for id := range s.inflight {
+		if _, dup := s.pending[id]; !dup {
+			st.Pending++
+		}
+		if !seen[id] {
+			count(id)
+		}
+	}
+	if !s.firstPending.IsZero() && st.Pending > 0 {
+		st.FlushLagMS = float64(time.Since(s.firstPending)) / float64(time.Millisecond)
+	}
+	return st
+}
+
+func (s *Store) journalPath() string { return filepath.Join(s.dir, "journal.log") }
+
+const casDir = "cas"
+
+func (s *Store) casPath(id recID) string {
+	return filepath.Join(s.dir, casDir,
+		fmt.Sprintf("%02x", byte(id.key)),
+		fmt.Sprintf("%02x-%016x.rec", byte(id.kind), id.key))
+}
+
+// parseCASName recovers a record identity from its file name.
+func parseCASName(name string) (recID, bool) {
+	var kind uint8
+	var key uint64
+	n, err := fmt.Sscanf(name, "%02x-%016x.rec", &kind, &key)
+	if err != nil || n != 2 {
+		return recID{}, false
+	}
+	return recID{Kind(kind), key}, true
+}
+
+// syncDir fsyncs a directory so renames within it are durable. Errors are
+// ignored: the worst case is re-doing work after a crash, never misreading.
+func syncDir(path string) {
+	d, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

@@ -1,0 +1,468 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// testOptions disables the background flusher so tests control flush
+// timing deterministically.
+func testOptions() Options { return Options{NoFlusher: true} }
+
+func openTest(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions())
+	s.Put(KindCompile, 42, []byte("hello"))
+
+	// Visible before any flush (write-behind, in-memory-first).
+	if d, ok := s.Get(KindCompile, 42); !ok || string(d) != "hello" {
+		t.Fatalf("pending Get = %q, %v", d, ok)
+	}
+	// A different kind with the same key is a distinct record.
+	if _, ok := s.Get(KindSimSource, 42); ok {
+		t.Fatal("kind must namespace keys")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if d, ok := s.Get(KindCompile, 42); !ok || string(d) != "hello" {
+		t.Fatalf("journal Get = %q, %v", d, ok)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: the journal replays.
+	s2 := openTest(t, dir, testOptions())
+	defer s2.Close()
+	if d, ok := s2.Get(KindCompile, 42); !ok || string(d) != "hello" {
+		t.Fatalf("reopened Get = %q, %v", d, ok)
+	}
+	if st := s2.Stats(); st.LoadedAtOpen != 1 {
+		t.Fatalf("LoadedAtOpen = %d, want 1", st.LoadedAtOpen)
+	}
+}
+
+func TestLastWriteWins(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions())
+	s.Put(KindCompile, 7, []byte("old"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put(KindCompile, 7, []byte("new"))
+	if d, _ := s.Get(KindCompile, 7); string(d) != "new" {
+		t.Fatalf("pending overwrite not visible: %q", d)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openTest(t, dir, testOptions())
+	defer s2.Close()
+	if d, _ := s2.Get(KindCompile, 7); string(d) != "new" {
+		t.Fatalf("replay kept %q, want newest", d)
+	}
+}
+
+func TestTruncatedJournalTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions())
+	for i := uint64(0); i < 10; i++ {
+		s.Put(KindBenchJob, i, []byte(fmt.Sprintf("record-%d", i)))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: garbage (a torn partial frame) lands
+	// on the journal tail.
+	path := filepath.Join(dir, "journal.log")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x04, 0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openTest(t, dir, testOptions())
+	defer s2.Close()
+	st := s2.Stats()
+	if st.RecoveredTailBytes == 0 {
+		t.Fatal("expected a recovered torn tail")
+	}
+	for i := uint64(0); i < 10; i++ {
+		if d, ok := s2.Get(KindBenchJob, i); !ok || string(d) != fmt.Sprintf("record-%d", i) {
+			t.Fatalf("record %d lost after recovery: %q, %v", i, d, ok)
+		}
+	}
+	// The recovered journal accepts appends again.
+	s2.Put(KindBenchJob, 99, []byte("after-recovery"))
+	if err := s2.Flush(); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+func TestCorruptedRecordBodyStopsReplayAtLastGood(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions())
+	s.Put(KindCompile, 1, []byte("first"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put(KindCompile, 2, []byte("second"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip a byte inside the second record's payload: its CRC fails, so
+	// replay must keep the first record and truncate from the second.
+	path := filepath.Join(dir, "journal.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.LastIndex(data, []byte("second"))
+	if idx < 0 {
+		t.Fatal("payload not found in journal")
+	}
+	data[idx] ^= 0xff
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, testOptions())
+	defer s2.Close()
+	if _, ok := s2.Get(KindCompile, 1); !ok {
+		t.Fatal("record before the corruption must survive")
+	}
+	if _, ok := s2.Get(KindCompile, 2); ok {
+		t.Fatal("corrupt record must not be served")
+	}
+}
+
+func TestStaleJournalSchemaRotatedAside(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions())
+	s.Put(KindCompile, 5, []byte("v1-data"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Pretend a future version wrote this journal.
+	path := filepath.Join(dir, "journal.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4] = 0xff // version field
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, testOptions())
+	defer s2.Close()
+	if _, ok := s2.Get(KindCompile, 5); ok {
+		t.Fatal("a stale-schema journal must be ignored, not parsed")
+	}
+	if _, err := os.Stat(path + ".stale"); err != nil {
+		t.Fatalf("stale journal should be rotated aside: %v", err)
+	}
+	// And the fresh journal works.
+	s2.Put(KindCompile, 6, []byte("fresh"))
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactionMovesRecordsToCAS(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	s := openTest(t, dir, opts)
+	for i := uint64(0); i < 50; i++ {
+		s.Put(KindCompile, i, bytes.Repeat([]byte{byte(i)}, 100))
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st := s.Stats()
+	if st.CASFiles != 50 || st.JournalRecords != 0 || st.JournalBytes != 0 {
+		t.Fatalf("after compact: %+v", st)
+	}
+	for i := uint64(0); i < 50; i++ {
+		if d, ok := s.Get(KindCompile, i); !ok || len(d) != 100 || d[0] != byte(i) {
+			t.Fatalf("record %d unreadable from CAS", i)
+		}
+	}
+	s.Close()
+
+	// Reopen: everything loads from CAS files.
+	s2 := openTest(t, dir, testOptions())
+	defer s2.Close()
+	if st := s2.Stats(); st.LoadedAtOpen != 50 || st.CASFiles != 50 {
+		t.Fatalf("reopen after compaction: %+v", st)
+	}
+	if d, ok := s2.Get(KindCompile, 13); !ok || d[0] != 13 {
+		t.Fatal("CAS record lost across reopen")
+	}
+}
+
+func TestAutoCompactionOnBudget(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.CompactBytes = 512
+	s := openTest(t, dir, opts)
+	for i := uint64(0); i < 40; i++ {
+		s.Put(KindSimSource, i, bytes.Repeat([]byte("x"), 64))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("journal over budget must compact: %+v", st)
+	}
+	if st.JournalBytes > 512 {
+		t.Fatalf("journal not truncated: %+v", st)
+	}
+	s.Close()
+}
+
+func TestCorruptCASFileDegradesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions())
+	s.Put(KindCompile, 77, []byte("precious"))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	path := s.casPath(recID{KindCompile, 77})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(KindCompile, 77); ok {
+		t.Fatal("corrupt CAS record must miss, not serve garbage")
+	}
+	// The miss evicted the bad index entry; a rewrite repairs it.
+	s.Put(KindCompile, 77, []byte("rewritten"))
+	if d, ok := s.Get(KindCompile, 77); !ok || string(d) != "rewritten" {
+		t.Fatalf("rewrite after corruption: %q, %v", d, ok)
+	}
+	s.Close()
+}
+
+func TestLoadStreamsAllTiers(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions())
+	s.Put(KindBenchJob, 1, []byte("cas"))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put(KindBenchJob, 2, []byte("journal"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put(KindBenchJob, 3, []byte("pending"))
+	s.Put(KindCompile, 4, []byte("other-kind"))
+
+	got := map[uint64]string{}
+	s.Load(KindBenchJob, func(key uint64, data []byte) { got[key] = string(data) })
+	want := map[uint64]string{1: "cas", 2: "journal", 3: "pending"}
+	if len(got) != len(want) {
+		t.Fatalf("Load = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Load[%d] = %q, want %q", k, got[k], v)
+		}
+	}
+	s.Close()
+}
+
+func TestConcurrentPutGetFlush(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.CompactBytes = 2048 // force compactions mid-churn
+	s := openTest(t, dir, opts)
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := uint64(w*1000 + i%50)
+				s.Put(KindCompile, key, []byte(fmt.Sprintf("w%d-%d", w, i)))
+				if d, ok := s.Get(KindCompile, key); !ok || len(d) == 0 {
+					t.Errorf("lost own write for key %d", key)
+					return
+				}
+				if i%40 == 0 {
+					_ = s.Flush()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Flush(); err != nil {
+		t.Fatalf("final flush: %v", err)
+	}
+	if st := s.Stats(); st.IOErrors != 0 {
+		t.Fatalf("io errors under churn: %+v", st)
+	}
+}
+
+// TestSingleWriterLock: a second process (here: a second Open) on one
+// state dir must be refused — concurrent journal appenders would
+// interleave frames and the next replay would discard the overlap.
+func TestSingleWriterLock(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions())
+	if _, err := Open(dir, testOptions()); err == nil {
+		t.Fatal("second Open on a live state dir must fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The lock dies with its owner: reopen succeeds.
+	s2 := openTest(t, dir, testOptions())
+	s2.Close()
+}
+
+// TestOversizedPutRejected: a record too large to replay must never
+// reach the journal, where it would read as a torn tail at the next
+// Open and take every later record with it.
+func TestOversizedPutRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions())
+	s.Put(KindCompile, 1, make([]byte, maxFrame+1))
+	s.Put(KindCompile, 2, []byte("normal"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(KindCompile, 1); ok {
+		t.Fatal("oversized record must be dropped")
+	}
+	if st := s.Stats(); st.IOErrors == 0 {
+		t.Fatalf("drop must be visible in stats: %+v", st)
+	}
+	s.Close()
+
+	s2 := openTest(t, dir, testOptions())
+	defer s2.Close()
+	if _, ok := s2.Get(KindCompile, 2); !ok {
+		t.Fatal("records after the rejected one must survive the reopen")
+	}
+}
+
+func TestEncoderDecoderRoundtrip(t *testing.T) {
+	var e Encoder
+	e.U8(3)
+	e.Bool(true)
+	e.String("hello\x00world")
+	e.Varint(-12345)
+	e.U64(1<<63 + 5)
+	e.I64(-9)
+	e.U32(77)
+	e.String("")
+
+	d := NewDecoder(e.Bytes())
+	if v := d.U8(); v != 3 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if !d.Bool() {
+		t.Fatal("Bool")
+	}
+	if v := d.String(); v != "hello\x00world" {
+		t.Fatalf("String = %q", v)
+	}
+	if v := d.Varint(); v != -12345 {
+		t.Fatalf("Varint = %d", v)
+	}
+	if v := d.U64(); v != 1<<63+5 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v := d.I64(); v != -9 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v := d.U32(); v != 77 {
+		t.Fatalf("U32 = %d", v)
+	}
+	if v := d.String(); v != "" {
+		t.Fatalf("empty String = %q", v)
+	}
+	if !d.Ok() {
+		t.Fatalf("decoder not Ok: %v", d.Err())
+	}
+	// Truncation is an error, not a panic.
+	d2 := NewDecoder(e.Bytes()[:3])
+	_ = d2.U8()
+	_ = d2.String()
+	if d2.Err() == nil {
+		t.Fatal("truncated payload must error")
+	}
+}
+
+func TestFlushLagAndCounters(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions())
+	defer s.Close()
+	s.Put(KindCompile, 1, []byte("x"))
+	st := s.Stats()
+	if st.Pending != 1 || st.Stores != 1 {
+		t.Fatalf("stats after put: %+v", st)
+	}
+	if st.FlushLagMS < 0 {
+		t.Fatalf("negative flush lag: %v", st.FlushLagMS)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Pending != 0 || st.FlushLagMS != 0 || st.Flushes == 0 {
+		t.Fatalf("stats after flush: %+v", st)
+	}
+	s.Get(KindCompile, 1)
+	s.Get(KindCompile, 2)
+	st = s.Stats()
+	if st.Loads != 2 || st.LoadHits != 1 {
+		t.Fatalf("load counters: %+v", st)
+	}
+	if st.ByKind["compile"] != 1 {
+		t.Fatalf("by-kind counters: %+v", st.ByKind)
+	}
+	// Re-putting a durable key must not double-count it, and must
+	// restart the flush-lag clock.
+	s.Put(KindCompile, 1, []byte("y"))
+	st = s.Stats()
+	if st.Records != 1 || st.ByKind["compile"] != 1 {
+		t.Fatalf("re-put double-counted: %+v", st)
+	}
+	if st.Pending != 1 || st.FlushLagMS < 0 {
+		t.Fatalf("re-put lag accounting: %+v", st)
+	}
+}
