@@ -1,0 +1,93 @@
+// Command fuzz runs differential campaigns of generated Verilog
+// modules through the compiled engine and the tree-walker oracle,
+// minimizing any divergence to a ready-to-paste regression test.
+//
+// Usage:
+//
+//	fuzz -count 10000                # 10k-module campaign from seed 0
+//	fuzz -seed 42 -count 1           # replay one module
+//	fuzz -count 5000 -cycles 24      # longer input traces
+//	fuzz -count 10000 -minimize      # shrink every find
+//	fuzz -count 10000 -out repros/   # write finds to files
+//	fuzz -seed 42 -count 1 -dump     # print the generated module
+//
+// The campaign is deterministic: module n uses seed -seed+n for both
+// generation and its input trace, so CI failures replay exactly with
+// the printed seed.
+//
+// Exit codes: 0 = no divergence, 1 = divergence found, 2 = bad usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fuzz"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 0, "first generator seed; module n uses seed+n")
+		count    = flag.Int("count", 1000, "number of modules to generate and check")
+		cycles   = flag.Int("cycles", 12, "input vectors per module")
+		minimize = flag.Bool("minimize", true, "delta-debug diverging modules to minimal repros")
+		outDir   = flag.String("out", "", "directory to write minimized repros and test cases into")
+		dump     = flag.Bool("dump", false, "print each generated module before checking it")
+		quiet    = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 || *count <= 0 || *cycles <= 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := fuzz.Options{
+		Seed:     *seed,
+		Count:    *count,
+		Cycles:   *cycles,
+		Minimize: *minimize,
+	}
+	if !*quiet {
+		opts.ProgressEvery = 2000
+		opts.Progress = func(done int, stats fuzz.Stats) {
+			fmt.Fprintf(os.Stderr, "fuzz: %d/%d %s\n", done, *count, stats)
+		}
+	}
+	if *dump {
+		for n := 0; n < *count; n++ {
+			fmt.Printf("// seed %d\n%s\n", *seed+int64(n), fuzz.Generate(*seed+int64(n)))
+		}
+	}
+
+	stats, finds := fuzz.Run(opts)
+	fmt.Fprintf(os.Stderr, "fuzz: done: %s\n", stats)
+
+	for _, d := range finds {
+		fmt.Printf("=== divergence: seed %d: %s\n", d.Seed, d.Mismatch)
+		fmt.Printf("--- minimized module (%d lines):\n%s\n", fuzz.LineCount(d.Minimized), d.Minimized)
+		fmt.Printf("--- regression table entry (internal/sim/engine_regress_test.go):\n%s\n", d.TestCase)
+		if *outDir != "" {
+			if err := writeFind(*outDir, d); err != nil {
+				fmt.Fprintf(os.Stderr, "fuzz: write repro: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	}
+	if len(finds) > 0 {
+		os.Exit(1)
+	}
+}
+
+func writeFind(dir string, d fuzz.Divergence) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := filepath.Join(dir, fmt.Sprintf("repro_seed_%d", d.Seed))
+	if err := os.WriteFile(base+".v", []byte(d.Minimized), 0o644); err != nil {
+		return err
+	}
+	body := fmt.Sprintf("mismatch: %s\n\n%s\n", d.Mismatch, d.TestCase)
+	return os.WriteFile(base+".txt", []byte(body), 0o644)
+}

@@ -1,0 +1,218 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// These tests pin the alias contract stated at the top of inplace.go:
+// every destination-passing op must produce the same bits as its
+// allocating counterpart even when the destination shares storage with
+// an operand — the exact situation a Verilog self-aliasing store
+// (q[4:1] = q) puts the compiled engine in.
+
+// aliasOf returns a Vec sharing v's backing words.
+func aliasOf(v *Vec) Vec { return *v }
+
+// TestAliasBinaryOps runs every two-operand op with the destination
+// aliased as the left operand, the right operand, and both, across
+// widths that cross word boundaries and exceed the stack alias buffer.
+func TestAliasBinaryOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	// 600 > aliasBufWords*64, forcing the heap spill path in unalias.
+	widths := []int{1, 7, 32, 63, 64, 65, 127, 200, 600}
+	ops := []struct {
+		name string
+		in   func(v *Vec, a, b Vec)
+		ref  func(a, b Vec) Vec
+	}{
+		{"AndOf", (*Vec).AndOf, Vec.And},
+		{"OrOf", (*Vec).OrOf, Vec.Or},
+		{"XorOf", (*Vec).XorOf, Vec.Xor},
+		{"XnorOf", (*Vec).XnorOf, func(a, b Vec) Vec { return a.Xor(b).Not() }},
+		{"AddOf", (*Vec).AddOf, Vec.Add},
+		{"SubOf", (*Vec).SubOf, Vec.Sub},
+		{"MulOf", (*Vec).MulOf, Vec.Mul},
+	}
+	for _, w := range widths {
+		for trial := 0; trial < 6; trial++ {
+			a := randVec(rng, w)
+			b := randVec(rng, w)
+			for _, op := range ops {
+				// dst aliases the left operand.
+				v := a.Resize(w)
+				op.in(&v, aliasOf(&v), b)
+				if want := op.ref(a, b); !v.Eq(want) {
+					t.Fatalf("%s(w=%d) dst==a: got %s want %s", op.name, w, v, want)
+				}
+				// dst aliases the right operand.
+				v = b.Resize(w)
+				op.in(&v, a, aliasOf(&v))
+				if want := op.ref(a, b); !v.Eq(want) {
+					t.Fatalf("%s(w=%d) dst==b: got %s want %s", op.name, w, v, want)
+				}
+				// dst aliases both operands.
+				v = a.Resize(w)
+				op.in(&v, aliasOf(&v), aliasOf(&v))
+				if want := op.ref(a, a); !v.Eq(want) {
+					t.Fatalf("%s(w=%d) dst==a==b: got %s want %s", op.name, w, v, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAliasUnaryAndShift covers the single-operand ops under
+// self-aliasing, including every shift distance class.
+func TestAliasUnaryAndShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, w := range []int{1, 9, 64, 65, 130, 600} {
+		for trial := 0; trial < 6; trial++ {
+			a := randVec(rng, w)
+
+			v := a.Resize(w)
+			v.NotOf(aliasOf(&v))
+			if want := a.Not(); !v.Eq(want) {
+				t.Fatalf("NotOf(w=%d) self: got %s want %s", w, v, want)
+			}
+
+			v = a.Resize(w)
+			v.NegOf(aliasOf(&v))
+			if want := New(w).Sub(a); !v.Eq(want) {
+				t.Fatalf("NegOf(w=%d) self: got %s want %s", w, v, want)
+			}
+
+			for _, n := range []int{0, 1, 63, 64, 65, w - 1, w, -2} {
+				v = a.Resize(w)
+				v.ShlOf(aliasOf(&v), n)
+				if want := a.Shl(n); !v.Eq(want) {
+					t.Fatalf("ShlOf(w=%d, n=%d) self: got %s want %s", w, n, v, want)
+				}
+				v = a.Resize(w)
+				v.ShrOf(aliasOf(&v), n)
+				if want := a.Shr(n); !v.Eq(want) {
+					t.Fatalf("ShrOf(w=%d, n=%d) self: got %s want %s", w, n, v, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAliasConcatRepeat exercises the copy-on-alias snapshots in
+// ConcatOf and RepeatOf. The destination is wider than the operand, so
+// the test builds it at the result width and feeds it a resized alias
+// view of its own storage via CopyResize first.
+func TestAliasConcatRepeat(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, w := range []int{3, 32, 64, 70, 300} {
+		for trial := 0; trial < 6; trial++ {
+			a := randVec(rng, w)
+
+			// {a, a} where both halves alias the destination's low words.
+			v := New(2 * w)
+			v.CopyResize(a)
+			low := Vec{width: w, words: v.words}
+			v.ConcatOf(low, low)
+			if want := a.Concat(a); !v.Eq(want) {
+				t.Fatalf("ConcatOf(w=%d) self: got %s want %s", w, v, want)
+			}
+
+			// {3{a}} with a aliasing the destination.
+			v = New(3 * w)
+			v.CopyResize(a)
+			low = Vec{width: w, words: v.words}
+			v.RepeatOf(low, 3)
+			if want := a.Repeat(3); !v.Eq(want) {
+				t.Fatalf("RepeatOf(w=%d) self: got %s want %s", w, v, want)
+			}
+		}
+	}
+}
+
+// storeSliceRef is the obviously-correct immutable model of
+// StoreSliceOf: read every source bit from a snapshot, write through
+// SetBit.
+func storeSliceRef(v, src Vec, lo, w int) Vec {
+	out := v.Resize(v.Width())
+	for i := 0; i < w; i++ {
+		pos := lo + i
+		if pos < 0 || pos >= v.Width() {
+			continue
+		}
+		out = out.SetBit(pos, src.Bit(i))
+	}
+	return out
+}
+
+// TestStoreSliceOfAliasing is the regression surface for the engine's
+// copy-on-alias slice-store bug: under full or partial self-aliasing
+// the stored bits must come from the pre-store value.
+func TestStoreSliceOfAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, w := range []int{4, 8, 33, 64, 65, 130, 600} {
+		for trial := 0; trial < 8; trial++ {
+			a := randVec(rng, w)
+			cases := []struct {
+				name  string
+				lo, n int
+			}{
+				{"full_width", 0, w},
+				{"overlap_up", 1, w - 1},   // q[w-1:1] = q — the original bug shape
+				{"overlap_down", 0, w - 1}, // q[w-2:0] = q
+				{"interior", w / 3, w / 2}, // strictly inside
+				{"past_end", w - 2, 5},     // clips at the top
+				{"negative_lo", -2, w / 2}, // clips at the bottom
+			}
+			for _, tc := range cases {
+				v := a.Resize(w)
+				want := storeSliceRef(v, v, tc.lo, tc.n)
+				changed := v.StoreSliceOf(aliasOf(&v), tc.lo, tc.n)
+				if !v.Eq(want) {
+					t.Fatalf("StoreSliceOf %s (w=%d lo=%d n=%d) self-alias: got %s want %s",
+						tc.name, w, tc.lo, tc.n, v, want)
+				}
+				if changed != !a.Eq(want) {
+					t.Fatalf("StoreSliceOf %s (w=%d): changed=%v but value %s -> %s",
+						tc.name, w, changed, a, want)
+				}
+				// Non-aliased store of an equal source must agree too.
+				v2 := a.Resize(w)
+				src := a.Resize(w)
+				v2.StoreSliceOf(src, tc.lo, tc.n)
+				if !v2.Eq(want) {
+					t.Fatalf("StoreSliceOf %s (w=%d) non-aliased disagrees with aliased: %s vs %s",
+						tc.name, w, v2, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAliasFastPathZeroAllocs proves the other half of the contract:
+// the copy-on-alias ops stay allocation-free when operands do NOT
+// alias, and the stack buffer absorbs aliased operands up to
+// aliasBufWords words.
+func TestAliasFastPathZeroAllocs(t *testing.T) {
+	a, b := FromUint64(64, 0xA5A5), FromUint64(64, 0x5A5A)
+	wa, wb := New(500), New(500) // within aliasBufWords*64 bits
+	wa.SetUint64(123)
+	wb.SetUint64(456)
+	dst, wdst := New(64), New(500)
+	cc := New(128)
+	rp := New(192)
+	allocs := testing.AllocsPerRun(200, func() {
+		// Non-aliased copy-on-alias ops: must not snapshot.
+		dst.MulOf(a, b)
+		cc.ConcatOf(a, b)
+		rp.RepeatOf(a, 3)
+		dst.StoreSliceOf(b, 3, 40)
+		wdst.MulOf(wa, wb)
+		wdst.StoreSliceOf(wa, 17, 300)
+		// Aliased but within the stack buffer: snapshot lives in buf.
+		dst.StoreSliceOf(aliasOf(&dst), 1, 30)
+		wdst.StoreSliceOf(aliasOf(&wdst), 2, 400)
+	})
+	if allocs != 0 {
+		t.Fatalf("alias-aware ops allocated %.1f/op on alloc-free paths", allocs)
+	}
+}

@@ -14,12 +14,20 @@ import "math/bits"
 //   - The receiver's width is fixed; results are truncated or
 //     zero-extended to it, exactly as the immutable operation of the same
 //     name would produce at that width.
-//   - Operands are read-only and must not alias the receiver unless the
-//     method documents otherwise (CopyResize and the bit setters are
-//     alias-safe; the arithmetic ops are not, and the engine's register
-//     allocator never aliases them).
-//   - Nothing allocates. Callers that share a Vec (e.g. values returned
-//     from Simulator.Get) must copy before mutating.
+//   - Operands are read-only, but every method tolerates the receiver
+//     aliasing an operand (sharing its backing storage): the word-wise ops
+//     read each operand word before overwriting it, the shifts iterate in
+//     the direction that keeps unread words intact, and the remaining ops
+//     (MulOf, ConcatOf, RepeatOf, StoreSliceOf) detect aliasing and
+//     snapshot the operand first — the copy-on-alias the simulator's
+//     differential fuzzer exists to police. Self-aliased results are
+//     bit-identical to the allocating op of the same name.
+//   - The non-aliased paths never allocate. Copy-on-alias paths may spill
+//     to the heap for very wide operands (beyond aliasBufWords words) —
+//     the compiled engine's register allocator copies aliased stores at
+//     compile time, so its steady state never takes those paths. Callers
+//     that share a Vec (e.g. values returned from Simulator.Get) must
+//     still copy before mutating.
 
 // Zero clears every bit in place.
 func (v *Vec) Zero() {
@@ -82,6 +90,34 @@ func wordAt(o Vec, i int) uint64 {
 		return o.words[i]
 	}
 	return 0
+}
+
+// aliasBufWords sizes the stack scratch used by copy-on-alias paths: 512
+// bits covers every signal in the corpus without allocating.
+const aliasBufWords = 8
+
+// aliases reports whether v and o share backing storage. Vectors are
+// allocated whole (the package never subslices words), so identity of the
+// first word identifies identity of the whole array.
+func (v *Vec) aliases(o Vec) bool {
+	return len(v.words) > 0 && len(o.words) > 0 && &v.words[0] == &o.words[0]
+}
+
+// unalias returns o, or a snapshot of o taken before v is mutated when o
+// shares v's storage. The snapshot lives in buf when it fits (keeping the
+// common aliased widths allocation-free) and on the heap otherwise.
+func (v *Vec) unalias(o Vec, buf *[aliasBufWords]uint64) Vec {
+	if !v.aliases(o) {
+		return o
+	}
+	var w []uint64
+	if len(o.words) <= len(buf) {
+		w = buf[:len(o.words)]
+	} else {
+		w = make([]uint64, len(o.words))
+	}
+	copy(w, o.words)
+	return Vec{width: o.width, words: w}
 }
 
 // AndOf sets v = a & b (zero-extended to v's width).
@@ -187,13 +223,18 @@ func (v *Vec) NegOf(a Vec) {
 	v.mask()
 }
 
-// MulOf sets v = a * b truncated to v's width. v must not alias a or b.
+// MulOf sets v = a * b truncated to v's width. Copy-on-alias: the
+// accumulation reads operand words after writing result words, so aliased
+// operands are snapshotted first.
 func (v *Vec) MulOf(a, b Vec) {
 	if len(v.words) == 1 {
 		v.words[0] = wordAt(a, 0) * wordAt(b, 0)
 		v.mask()
 		return
 	}
+	var bufA, bufB [aliasBufWords]uint64
+	a = v.unalias(a, &bufA)
+	b = v.unalias(b, &bufB)
 	v.Zero()
 	for i := 0; i < len(a.words) && i < len(v.words); i++ {
 		x := a.words[i]
@@ -232,7 +273,9 @@ func (v *Vec) ModLowOf(a, b Vec) {
 }
 
 // ShlOf sets v = a << n at v's width (v.width == a.width in every engine
-// use). Negative n shifts right, matching Vec.Shl. v must not alias a.
+// use). Negative n shifts right, matching Vec.Shl. Self-aliasing (v == a)
+// is safe: the descending word iteration writes each position after every
+// read of a lower position it depends on.
 func (v *Vec) ShlOf(a Vec, n int) {
 	if n < 0 {
 		v.ShrOf(a, -n)
@@ -263,7 +306,9 @@ func (v *Vec) ShlOf(a Vec, n int) {
 
 // ShrOf sets v = a >> n (logical) truncated/extended to v's width. Unlike
 // ShlOf it supports v.width != a.width, which makes it double as the
-// part-select read primitive (a.Shr(lo).Resize(w)). v must not alias a.
+// part-select read primitive (a.Shr(lo).Resize(w)). Self-aliasing (v == a)
+// is safe: the ascending iteration only reads words at or above the write
+// position, before that position is overwritten.
 func (v *Vec) ShrOf(a Vec, n int) {
 	if n < 0 {
 		v.ShlOf(a, -n)
@@ -287,13 +332,16 @@ func (v *Vec) ShrOf(a Vec, n int) {
 }
 
 // ConcatOf sets v = {a, b} (a in the high bits). v's width must be
-// a.Width()+b.Width(). v must not alias a or b.
+// a.Width()+b.Width(). Copy-on-alias: aliasing v==a is absorbed by ShlOf;
+// an aliased b is snapshotted before the shift clobbers its words.
 func (v *Vec) ConcatOf(a, b Vec) {
 	if len(v.words) == 1 {
 		v.words[0] = wordAt(b, 0) | wordAt(a, 0)<<uint(b.width)
 		v.mask()
 		return
 	}
+	var bufB [aliasBufWords]uint64
+	b = v.unalias(b, &bufB)
 	v.ShlOf(a, b.width) // zero-fills the low words
 	for i := range b.words {
 		v.words[i] |= b.words[i]
@@ -301,9 +349,11 @@ func (v *Vec) ConcatOf(a, b Vec) {
 	v.mask()
 }
 
-// RepeatOf sets v = {n{a}}. v's width must be n*a.Width(). v must not
-// alias a.
+// RepeatOf sets v = {n{a}}. v's width must be n*a.Width(). Copy-on-alias:
+// an aliased a is snapshotted before the initial Zero erases it.
 func (v *Vec) RepeatOf(a Vec, n int) {
+	var bufA [aliasBufWords]uint64
+	a = v.unalias(a, &bufA)
 	v.Zero()
 	if a.width == 0 {
 		return
@@ -323,6 +373,32 @@ func (v *Vec) RepeatOf(a Vec, n int) {
 		}
 	}
 	v.mask()
+}
+
+// StoreSliceOf writes w bits of src into v starting at bit lo — the
+// part-select store primitive (q[lo+w-1:lo] = src). Positions outside v's
+// width are dropped, matching the simulator's out-of-range write
+// semantics. It reports whether any stored bit changed. Copy-on-alias:
+// when src shares v's storage (q[4:1] = q), the source is snapshotted
+// first, so every source bit reads the pre-store value exactly as the
+// walker's immutable evaluation does.
+func (v *Vec) StoreSliceOf(src Vec, lo, w int) bool {
+	var buf [aliasBufWords]uint64
+	src = v.unalias(src, &buf)
+	changed := false
+	width := v.width
+	for i := 0; i < w; i++ {
+		pos := lo + i
+		if pos < 0 || pos >= width {
+			continue
+		}
+		nb := src.Bit(i)
+		if v.Bit(pos) != nb {
+			v.SetBitInPlace(pos, nb)
+			changed = true
+		}
+	}
+	return changed
 }
 
 // EqResized reports whether o.Resize(v.Width()) would equal v — the

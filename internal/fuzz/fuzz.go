@@ -1,0 +1,146 @@
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Options configures one differential campaign.
+type Options struct {
+	// Seed is the first generator seed; module n uses Seed+n.
+	Seed int64
+	// Count is the number of modules to generate and check.
+	Count int
+	// Cycles is the number of input vectors per module. Zero defaults
+	// to 12.
+	Cycles int
+	// Minimize shrinks every diverging module to a minimal repro.
+	Minimize bool
+	// Gen bounds the generator; zero value uses defaults.
+	Gen GenConfig
+	// Progress, when non-nil, receives a line every ProgressEvery
+	// modules (and at the end).
+	Progress      func(done int, stats Stats)
+	ProgressEvery int
+}
+
+// Divergence records one walker-vs-engine disagreement found by a
+// campaign.
+type Divergence struct {
+	Seed     int64  // generator seed that produced the module
+	Source   string // the generated (pre-minimization) module
+	Mismatch string // first mismatch, human-readable
+	// Minimized is the shrunk module (equal to Source when
+	// minimization is off or failed to reduce).
+	Minimized string
+	// TestCase is a ready-to-paste engine_regress_test.go table entry.
+	TestCase string
+}
+
+// Stats summarizes a campaign.
+type Stats struct {
+	Generated int // modules produced
+	Checked   int // modules that compiled on both backends and ran
+	Skipped   int // frontend/compile rejections (generator misses)
+	Diverged  int
+	Elapsed   time.Duration
+}
+
+// Rate returns modules checked per second.
+func (s Stats) Rate() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Generated) / s.Elapsed.Seconds()
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("generated=%d checked=%d skipped=%d diverged=%d elapsed=%s rate=%.0f/s",
+		s.Generated, s.Checked, s.Skipped, s.Diverged, s.Elapsed.Round(time.Millisecond), s.Rate())
+}
+
+// Run executes the campaign and returns its stats plus every
+// divergence found, in seed order.
+func Run(opts Options) (Stats, []Divergence) {
+	if opts.Cycles <= 0 {
+		opts.Cycles = 12
+	}
+	if opts.ProgressEvery <= 0 {
+		opts.ProgressEvery = 1000
+	}
+	start := time.Now()
+	var stats Stats
+	var finds []Divergence
+	for n := 0; n < opts.Count; n++ {
+		seed := opts.Seed + int64(n)
+		src := GenerateWith(seed, opts.Gen)
+		stats.Generated++
+		rep, err := CheckSource(src, opts.Cycles, seed)
+		if err != nil {
+			stats.Skipped++
+			continue
+		}
+		stats.Checked++
+		if opts.Progress != nil && (n+1)%opts.ProgressEvery == 0 {
+			stats.Elapsed = time.Since(start)
+			opts.Progress(n+1, stats)
+		}
+		if !rep.Diverged() {
+			continue
+		}
+		stats.Diverged++
+		div := Divergence{
+			Seed:      seed,
+			Source:    src,
+			Mismatch:  rep.First().String(),
+			Minimized: src,
+		}
+		if opts.Minimize {
+			div.Minimized = Minimize(src, opts.Cycles, seed)
+		}
+		div.TestCase = TestCase(fmt.Sprintf("fuzz_seed_%d", seed), div.Minimized, opts.Cycles, seed)
+		finds = append(finds, div)
+	}
+	stats.Elapsed = time.Since(start)
+	if opts.Progress != nil && opts.Count%opts.ProgressEvery != 0 {
+		opts.Progress(opts.Count, stats)
+	}
+	return stats, finds
+}
+
+// CheckSource runs one module through the shared differential path.
+// The error marks a frontend/compile rejection (campaigns count it as
+// a skip); divergence is reported via the DiffReport.
+func CheckSource(src string, cycles int, seed int64) (*sim.DiffReport, error) {
+	return sim.DiffSource(src, sim.DiffConfig{
+		Clock:  DetectClock(src),
+		Cycles: cycles,
+		Seed:   seed,
+	})
+}
+
+// DetectClock returns "clk" when the module declares a clk input, else
+// "" (purely combinational drive).
+func DetectClock(src string) string {
+	if strings.Contains(src, "input clk") || strings.Contains(src, "input wire clk") {
+		return "clk"
+	}
+	return ""
+}
+
+// TestCase renders a module as a table entry for TestEngineRegressions
+// in internal/sim/engine_regress_test.go — paste it into the cases
+// slice verbatim.
+func TestCase(name, src string, cycles int, seed int64) string {
+	clock := DetectClock(src)
+	var b strings.Builder
+	b.WriteString("{\n")
+	fmt.Fprintf(&b, "\tname: %q, clock: %q, cycles: %d, seed: %d,\n", name, clock, cycles, seed)
+	b.WriteString("\tsrc: `\n")
+	b.WriteString(strings.ReplaceAll(strings.TrimRight(src, "\n"), "`", "\\x60"))
+	b.WriteString("`,\n},")
+	return b.String()
+}

@@ -46,9 +46,9 @@ type opcode uint8
 // Instruction opcodes. Naming: *C suffixed forms take a compile-time
 // immediate where the base form reads a register.
 const (
-	opCopy opcode = iota // dst = a resized to dst's width
-	opZeroReg            // dst = 0
-	opAnd                // dst = a & b
+	opCopy    opcode = iota // dst = a resized to dst's width
+	opZeroReg               // dst = 0
+	opAnd                   // dst = a & b
 	opOr
 	opXor
 	opXnor
@@ -160,10 +160,10 @@ type Program struct {
 	// restores the old value is no change.
 	tracked [][]int32
 	sched   []schedItem
-	seq      [][]instr // clocked always blocks, declaration order
-	edges    map[edgeKey][]int32
-	frags    [][]instr // NBA apply fragments
-	loops    []loopMeta
+	seq     [][]instr // clocked always blocks, declaration order
+	edges   map[edgeKey][]int32
+	frags   [][]instr // NBA apply fragments
+	loops   []loopMeta
 }
 
 // Design returns the elaborated design the program was compiled from.
@@ -296,12 +296,11 @@ func (c *compiler) run() {
 		p.slotOf[name] = r
 	}
 
-	// Declaration initializers, in module declaration order. The walker
-	// applies these in map order and swallows evaluation errors; inits in
-	// the corpus only read constants and inputs (all zero at reset), so
-	// declaration order is equivalent — and an init the walker would fail
-	// to evaluate fails compilation here, routing the whole design to the
-	// walker for identical behaviour.
+	// Variable declaration initializers (reg r = 0), in declaration
+	// order, run once at reset. Net initializers (wire x = expr) are
+	// continuous-assign shorthand and are lowered into the settle
+	// schedule below instead — the walker mirrors both rules, so the
+	// backends agree on init-to-init references too.
 	c.locals = map[string]int32{}
 	for _, item := range c.design.Module.Items {
 		decl, ok := item.(*verilog.Decl)
@@ -315,6 +314,9 @@ func (c *compiler) run() {
 			sig := c.design.Signal(dn.Name)
 			if sig == nil || sig.Init != dn.Init {
 				continue // duplicate declaration lost the merge
+			}
+			if !sig.Kind.IsVariable() {
+				continue // net init: continuous assign, not reset code
 			}
 			v := c.compileExpr(dn.Init)
 			c.emit(instr{op: opStore, dst: p.slotOf[dn.Name], a: v})
@@ -335,6 +337,20 @@ func (c *compiler) run() {
 				seqB = append(seqB, it)
 			} else {
 				comb = append(comb, it)
+			}
+		case *verilog.Decl:
+			// Net initializers join the settle schedule at their
+			// declaration position (same rule as the walker).
+			for _, dn := range it.Names {
+				sig := c.design.Signal(dn.Name)
+				if dn.Init == nil || sig == nil || sig.Init != dn.Init || sig.Kind.IsVariable() {
+					continue
+				}
+				assigns = append(assigns, &verilog.AssignItem{
+					LHS:       &verilog.Ident{Name: dn.Name, NamePos: dn.NamePos},
+					RHS:       dn.Init,
+					AssignPos: dn.NamePos,
+				})
 			}
 		}
 	}
@@ -835,7 +851,19 @@ func (c *compiler) compileAssignTo(lhs verilog.Expr, src int32) {
 // compileSliceStore emits a part-select store. Only indexed selects may
 // have a dynamic base; constant selects must fold (sema guarantees it for
 // designs that reach simulation).
+//
+// When the RHS register IS the store target (q[4:1] = q reaches here with
+// src == tr, because compileExprCtx returns wide-enough idents without a
+// copy), the multi-bit store would read source bits it already overwrote.
+// The walker snapshots the RHS before writing, so the compiled form copies
+// the aliased source into a temporary first. Single-bit stores read their
+// one source bit before writing and need no copy.
 func (c *compiler) compileSliceStore(name string, tr int32, sl *verilog.Slice, src int32) {
+	if src == tr {
+		t := c.newTemp(c.regW(src))
+		c.emit(instr{op: opCopy, dst: t, a: src})
+		src = t
+	}
 	mode, lsb := c.sigNorm(name)
 	switch sl.Kind {
 	case verilog.SelectConst:

@@ -24,8 +24,8 @@ type engine struct {
 	// ever queued in their position.
 	nba     []int32
 	nbaVals []bitvec.Vec
-	curNBA bitvec.Vec // value being applied by the running fragment
-	trips  []int
+	curNBA  bitvec.Vec // value being applied by the running fragment
+	trips   []int
 	// Fixpoint change detection. Continuous assigns track incrementally
 	// (trackStores gates the store ops' reporting); comb always blocks
 	// compare their tracked slots against the shadow copies taken before
@@ -221,25 +221,6 @@ func dynIdx(raw uint64, mode uint8, lsb int32) int {
 	return idx
 }
 
-// storeSlice writes w bits of src into dst starting at bit lo, dropping
-// out-of-range positions; reports whether any stored bit changed.
-func storeSlice(dst *bitvec.Vec, src bitvec.Vec, lo, w int) bool {
-	changed := false
-	width := dst.Width()
-	for i := 0; i < w; i++ {
-		pos := lo + i
-		if pos < 0 || pos >= width {
-			continue
-		}
-		nb := src.Bit(i)
-		if dst.Bit(pos) != nb {
-			dst.SetBitInPlace(pos, nb)
-			changed = true
-		}
-	}
-	return changed
-}
-
 // exec interprets one instruction sequence.
 func (e *engine) exec(code []instr) error {
 	regs := e.regs
@@ -367,7 +348,7 @@ func (e *engine) exec(code []instr) error {
 				}
 			}
 		case opStoreSliceC:
-			if storeSlice(&regs[in.dst], regs[in.a], int(in.imm), int(in.aux)) &&
+			if regs[in.dst].StoreSliceOf(regs[in.a], int(in.imm), int(in.aux)) &&
 				e.trackStores && int(in.dst) < e.nSlots {
 				e.changed = true
 			}
@@ -376,7 +357,7 @@ func (e *engine) exec(code []instr) error {
 			if in.mode&minusFlag != 0 {
 				lo = lo - int(in.aux) + 1
 			}
-			if storeSlice(&regs[in.dst], regs[in.a], lo, int(in.aux)) &&
+			if regs[in.dst].StoreSliceOf(regs[in.a], lo, int(in.aux)) &&
 				e.trackStores && int(in.dst) < e.nSlots {
 				e.changed = true
 			}

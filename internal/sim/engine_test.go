@@ -1,66 +1,22 @@
 package sim
 
 import (
-	"math/rand"
 	"strings"
 	"testing"
 
 	"repro/internal/bitvec"
 )
 
-// diffBoth builds both backends for src and drives count random vectors
-// on every input, comparing all signals after each settle (and clock
-// pulse when clock is non-empty).
+// diffBoth runs src through the shared differential path (diff.go) and
+// fails on any walker-vs-engine disagreement.
 func diffBoth(t *testing.T, src, clock string, count int, seed int64) {
 	t.Helper()
-	design := buildDesign(t, src)
-	prog, err := Compile(design)
-	if err != nil {
-		t.Fatalf("must compile: %v", err)
-	}
-	eng := NewFromProgram(prog)
-	wlk, err := NewWith(design, EngineWalker)
+	rep, err := DiffSource(src, DiffConfig{Clock: clock, Cycles: count, Seed: seed})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	inputs := design.Inputs()
-	for cyc := 0; cyc < count; cyc++ {
-		for _, in := range inputs {
-			if in.Name == clock {
-				continue
-			}
-			v := bitvec.New(in.Width())
-			for b := 0; b < in.Width(); b++ {
-				if rng.Intn(2) == 1 {
-					v.SetBitInPlace(b, true)
-				}
-			}
-			if err := eng.SetInput(in.Name, v); err != nil {
-				t.Fatal(err)
-			}
-			if err := wlk.SetInput(in.Name, v); err != nil {
-				t.Fatal(err)
-			}
-		}
-		errE, errW := eng.Settle(), wlk.Settle()
-		if (errE == nil) != (errW == nil) {
-			t.Fatalf("cycle %d: settle disagreement: engine=%v walker=%v", cyc, errE, errW)
-		}
-		if errE != nil {
-			return
-		}
-		if clock != "" {
-			if errE, errW = eng.ClockPulse(clock), wlk.ClockPulse(clock); (errE == nil) != (errW == nil) {
-				t.Fatalf("cycle %d: clock disagreement: engine=%v walker=%v", cyc, errE, errW)
-			}
-		}
-		for name := range design.Signals {
-			ev, wv := eng.Get(name), wlk.Get(name)
-			if !ev.Eq(wv) {
-				t.Fatalf("cycle %d: %s: engine=%s walker=%s", cyc, name, ev.Hex(), wv.Hex())
-			}
-		}
+	if rep.Diverged() {
+		t.Fatalf("divergence: %s", rep.First())
 	}
 }
 
@@ -346,9 +302,14 @@ endmodule`
 			if got := s.Get("acc"); got.Width() != 100 || !got.IsZero() {
 				t.Fatalf("engine %d round %d: acc width %d after reset", eng, round, got.Width())
 			}
-			// decl init re-applied: inv = ~d[0] with d zeroed = 1
+			// A net init (wire inv = ~d[0]) is a continuous assign:
+			// the first settle after reset recomputes it (d zeroed,
+			// so inv = 1).
+			if err := s.Settle(); err != nil {
+				t.Fatal(err)
+			}
 			if got := s.Get("inv").Uint64(); got != 1 {
-				t.Fatalf("engine %d round %d: decl init not re-applied, inv = %d", eng, round, got)
+				t.Fatalf("engine %d round %d: net init not recomputed, inv = %d", eng, round, got)
 			}
 		}
 	}

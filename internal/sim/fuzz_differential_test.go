@@ -1,0 +1,42 @@
+package sim_test
+
+// External test package: internal/fuzz imports internal/sim (for the
+// shared differential path), so the native fuzz target lives outside
+// package sim to keep the import graph acyclic.
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/fuzz"
+)
+
+// FuzzDifferential is the native-fuzzing entry point: each input seed
+// deterministically generates one hazard-biased module and drives it
+// through both backends via the shared diff path. Run long campaigns
+// with `go test -fuzz=FuzzDifferential ./internal/sim/`; the seed
+// corpus alone runs under plain `go test -run Differential` (CI does,
+// with -race). Any divergence is auto-minimized and printed as a
+// ready-to-paste engine_regress_test.go entry.
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(0); seed < 32; seed++ {
+		f.Add(seed)
+	}
+	const cycles = 10
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := fuzz.Generate(seed)
+		rep, err := fuzz.CheckSource(src, cycles, seed)
+		if err != nil {
+			// Generator miss: the frontend rejected the module. Not a
+			// finding — the compile-rate test bounds how often this
+			// may happen.
+			t.Skip(err)
+		}
+		if rep.Diverged() {
+			min := fuzz.Minimize(src, cycles, seed)
+			t.Fatalf("walker-vs-engine divergence (seed %d): %s\nminimized repro:\n%s\nregression entry:\n%s",
+				seed, rep.First(), min,
+				fuzz.TestCase("fuzz_seed_"+strconv.FormatInt(seed, 10), min, cycles, seed))
+		}
+	})
+}

@@ -22,6 +22,14 @@
 //     reference oracle (differential tests assert bit-identical outputs)
 //     and as the automatic fallback for the rare construct the compiler
 //     rejects.
+//
+// DiffSource and DiffDesign are the shared differential path holding the
+// two backends to agreement: both instantiated on one design, driven
+// with identical seeded random inputs, every signal compared every cycle
+// plus the full state at the end. The unit tests, the permanent
+// regression table (engine_regress_test.go), the native
+// FuzzDifferential target, and the internal/fuzz campaign runner and
+// minimizer all funnel through it.
 package sim
 
 import (

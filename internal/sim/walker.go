@@ -53,6 +53,22 @@ func newWalkerSim(design *sema.Design) (*walkerSim, error) {
 			} else {
 				s.combAlways = append(s.combAlways, it)
 			}
+		case *verilog.Decl:
+			// A net-kind initializer (wire x = expr) is continuous
+			// assignment shorthand per the LRM, so it joins the settle
+			// loop as a synthesized assign at its declaration position.
+			// Variable initializers stay one-shot (applyDeclInits).
+			for _, dn := range it.Names {
+				sig := design.Signal(dn.Name)
+				if dn.Init == nil || sig == nil || sig.Init != dn.Init || sig.Kind.IsVariable() {
+					continue
+				}
+				s.assigns = append(s.assigns, &verilog.AssignItem{
+					LHS:       &verilog.Ident{Name: dn.Name, NamePos: dn.NamePos},
+					RHS:       dn.Init,
+					AssignPos: dn.NamePos,
+				})
+			}
 		}
 	}
 	s.applyDeclInits()
@@ -79,14 +95,26 @@ func (s *walkerSim) Reset() {
 	s.applyDeclInits()
 }
 
+// applyDeclInits applies variable declaration initializers (reg r = 0,
+// integer i = 5) once, in declaration order — map order here once made
+// init-to-init references nondeterministic, which the differential
+// fuzzer caught as an intermittent walker-vs-engine divergence. Net
+// initializers are continuous assigns and are handled in Settle.
 func (s *walkerSim) applyDeclInits() {
-	for name, sig := range s.design.Signals {
-		if sig.Init == nil {
+	for _, item := range s.design.Module.Items {
+		decl, ok := item.(*verilog.Decl)
+		if !ok {
 			continue
 		}
-		env := newEnv(s)
-		if v, err := env.eval(sig.Init); err == nil {
-			s.values[name] = v.Resize(sig.Width())
+		for _, dn := range decl.Names {
+			sig := s.design.Signal(dn.Name)
+			if dn.Init == nil || sig == nil || sig.Init != dn.Init || !sig.Kind.IsVariable() {
+				continue
+			}
+			env := newEnv(s)
+			if v, err := env.eval(dn.Init); err == nil {
+				s.values[dn.Name] = v.Resize(sig.Width())
+			}
 		}
 	}
 }
@@ -149,13 +177,24 @@ func (s *walkerSim) fireEdge(name string, edge verilog.EventEdge) error {
 	if len(fired) == 0 {
 		return nil
 	}
-	env := newEnv(s)
-	for _, blk := range fired {
-		if err := env.exec(blk.Body); err != nil {
+	// Each block executes in its own env: block locals (loop variables,
+	// integers declared in the body) are scoped to their block, so two
+	// blocks declaring the same name get distinct storage — the compiled
+	// engine interns one register per block-local per block, and NBA
+	// targets re-evaluated at commit must observe the owning block's
+	// final loop-variable values, not a later block's. Commits run after
+	// every block has executed, in block order, which is exactly the
+	// engine's single merged queue order.
+	envs := make([]*env, len(fired))
+	for i, blk := range fired {
+		envs[i] = newEnv(s)
+		if err := envs[i].exec(blk.Body); err != nil {
 			return err
 		}
 	}
-	env.commitNBA()
+	for _, env := range envs {
+		env.commitNBA()
+	}
 	return nil
 }
 
