@@ -48,7 +48,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, table3, figure4, figure7, curation, ablation, simfeedback, or all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, table3, figure4, figure7, curation, ablation, simfeedback, analyzer, or all")
 	seed := flag.Int64("seed", 2024, "random seed")
 	repeats := flag.Int("repeats", 10, "table 1 repeats per sample (paper: 10)")
 	samples := flag.Int("samples", 20, "table 2/3 samples per problem (paper: 20)")
@@ -195,11 +195,17 @@ func main() {
 		fmt.Fprint(human, res.Render())
 		return res.JSON()
 	})
+	run("analyzer", func() any {
+		entries, _ := curate.Build(curate.Options{Seed: *seed})
+		res := bench.RunAnalyzerAB(*seed, *repeats, entries, *workers, *cache)
+		fmt.Fprint(human, res.Render())
+		return res.JSON()
+	})
 
 	if *exp != "all" {
 		switch *exp {
 		case "table1", "table2", "table3", "figure4", "figure7", "curation",
-			"ablation", "simfeedback":
+			"ablation", "simfeedback", "analyzer":
 		default:
 			fmt.Fprintf(os.Stderr, "benchmark: unknown experiment %q\n", *exp)
 			os.Exit(2)

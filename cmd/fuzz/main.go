@@ -29,13 +29,14 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 0, "first generator seed; module n uses seed+n")
-		count    = flag.Int("count", 1000, "number of modules to generate and check")
-		cycles   = flag.Int("cycles", 12, "input vectors per module")
-		minimize = flag.Bool("minimize", true, "delta-debug diverging modules to minimal repros")
-		outDir   = flag.String("out", "", "directory to write minimized repros and test cases into")
-		dump     = flag.Bool("dump", false, "print each generated module before checking it")
-		quiet    = flag.Bool("quiet", false, "suppress progress lines")
+		seed      = flag.Int64("seed", 0, "first generator seed; module n uses seed+n")
+		count     = flag.Int("count", 1000, "number of modules to generate and check")
+		cycles    = flag.Int("cycles", 12, "input vectors per module")
+		minimize  = flag.Bool("minimize", true, "delta-debug diverging modules to minimal repros")
+		outDir    = flag.String("out", "", "directory to write minimized repros and test cases into")
+		dump      = flag.Bool("dump", false, "print each generated module before checking it")
+		quiet     = flag.Bool("quiet", false, "suppress progress lines")
+		aliasBias = flag.Float64("alias-bias", 0, "fraction of non-hazard statement draws redirected into alias-hazard shapes (0 = unbiased, byte-identical to older campaigns)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 || *count <= 0 || *cycles <= 0 {
@@ -43,11 +44,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *aliasBias < 0 || *aliasBias > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
 	opts := fuzz.Options{
 		Seed:     *seed,
 		Count:    *count,
 		Cycles:   *cycles,
 		Minimize: *minimize,
+		Gen:      fuzz.GenConfig{AliasBias: *aliasBias},
 	}
 	if !*quiet {
 		opts.ProgressEvery = 2000
@@ -65,7 +71,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "fuzz: done: %s\n", stats)
 
 	for _, d := range finds {
-		fmt.Printf("=== divergence: seed %d: %s\n", d.Seed, d.Mismatch)
+		fmt.Printf("=== divergence (priority %s, alias findings %d): seed %d: %s\n",
+			d.Priority(), d.AliasFindings, d.Seed, d.Mismatch)
 		fmt.Printf("--- minimized module (%d lines):\n%s\n", fuzz.LineCount(d.Minimized), d.Minimized)
 		fmt.Printf("--- regression table entry (internal/sim/engine_regress_test.go):\n%s\n", d.TestCase)
 		if *outDir != "" {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/analyze"
 	"repro/internal/compiler"
 	"repro/internal/fixer"
 	"repro/internal/llm"
@@ -56,6 +57,9 @@ type Transcript struct {
 	FinalCode string
 	// FixerRules lists rule names the deterministic pre-fixer applied.
 	FixerRules []string
+	// LintFindings counts semantic-lint findings surfaced to the model
+	// across all iterations (0 when the analyzer is disabled).
+	LintFindings int
 }
 
 func (t *Transcript) add(kind StepKind, tool, content string) {
@@ -101,6 +105,10 @@ type Config struct {
 	// SampleSeed identifies the problem instance for the model's
 	// deterministic capability rolls.
 	SampleSeed int64
+	// DisableAnalyzer turns off the semantic lint engine whose findings
+	// are appended to every compile observation the model sees. The zero
+	// value keeps it on.
+	DisableAnalyzer bool
 }
 
 func (c Config) retriever() rag.Retriever {
@@ -132,6 +140,25 @@ func preclean(code string, t *Transcript) string {
 	return res.Code
 }
 
+// observe builds the observation/feedback text for one compile: the
+// persona log, plus (analyzer on) the semantic-lint findings for the
+// candidate. The lint lines ride along in the prompt without being
+// mistaken for compile errors — their format deliberately matches none
+// of the compiler-log dialects the model's log analysis parses, so the
+// error taxonomy, retrieval, and repair strategy selection are
+// byte-identical with the analyzer on or off.
+func observe(cfg Config, code string, res compiler.Result, t *Transcript) string {
+	if cfg.DisableAnalyzer {
+		return res.Log
+	}
+	findings := analyze.Source(code, analyze.Options{})
+	if len(findings) == 0 {
+		return res.Log
+	}
+	t.LintFindings += len(findings)
+	return strings.TrimRight(res.Log, "\n") + "\n" + analyze.RenderText(cfg.filename(), findings)
+}
+
 // RunOneShot is the baseline: one compile for feedback, one revision, one
 // verifying compile. No reasoning steps, no iteration.
 func RunOneShot(cfg Config, code string) *Transcript {
@@ -140,16 +167,20 @@ func RunOneShot(cfg Config, code string) *Transcript {
 
 	t.add(StepAction, "Compiler", "submitting the candidate code")
 	res := cfg.Compiler.Compile(cfg.filename(), cur)
-	t.add(StepObservation, "", res.Log)
 	if res.Ok {
+		t.add(StepObservation, "", res.Log)
 		t.Success = true
 		t.FinalCode = cur
 		t.add(StepAction, "Finish", "the code already compiles")
 		return t
 	}
+	obs := observe(cfg, cur, res, t)
+	t.add(StepObservation, "", obs)
 
 	var guidance []rag.Entry
 	if cfg.DB != nil && cfg.Compiler.InfoScore() > 0 {
+		// Retrieval keys on the raw compiler log: lint lines carry no
+		// error tags and would only dilute fuzzy matching.
 		guidance = cfg.retriever().Retrieve(cfg.DB, res.Log, 4)
 		t.add(StepAction, "RAG", "retrieving guidance for the compiler log")
 		t.add(StepObservation, "", rag.Render(guidance))
@@ -157,7 +188,7 @@ func RunOneShot(cfg Config, code string) *Transcript {
 
 	rep := cfg.Model.Repair(llm.RepairRequest{
 		Code:       cur,
-		Feedback:   res.Log,
+		Feedback:   obs,
 		Guidance:   guidance,
 		Thought:    false,
 		SampleSeed: cfg.SampleSeed,
@@ -184,13 +215,15 @@ func RunReAct(cfg Config, code string) *Transcript {
 
 	res := cfg.Compiler.Compile(cfg.filename(), cur)
 	t.add(StepAction, "Compiler", "submitting the candidate code")
-	t.add(StepObservation, "", res.Log)
 	if res.Ok {
+		t.add(StepObservation, "", res.Log)
 		t.Success = true
 		t.FinalCode = cur
 		t.add(StepAction, "Finish", "the code already compiles")
 		return t
 	}
+	obs := observe(cfg, cur, res, t)
+	t.add(StepObservation, "", obs)
 
 	for iter := 1; iter <= cfg.maxIters(); iter++ {
 		hyps := llm.AnalyzeLog(res.Log)
@@ -198,6 +231,7 @@ func RunReAct(cfg Config, code string) *Transcript {
 
 		var guidance []rag.Entry
 		if cfg.DB != nil && cfg.Compiler.InfoScore() > 0 {
+			// Raw log only: lint lines carry no retrievable error tags.
 			guidance = cfg.retriever().Retrieve(cfg.DB, res.Log, 4)
 			t.add(StepAction, "RAG", firstLogLine(res.Log))
 			t.add(StepObservation, "", rag.Render(guidance))
@@ -205,7 +239,7 @@ func RunReAct(cfg Config, code string) *Transcript {
 
 		rep := cfg.Model.Repair(llm.RepairRequest{
 			Code:       cur,
-			Feedback:   res.Log,
+			Feedback:   obs,
 			Guidance:   guidance,
 			Thought:    true,
 			SampleSeed: cfg.SampleSeed,
@@ -217,13 +251,15 @@ func RunReAct(cfg Config, code string) *Transcript {
 
 		res = cfg.Compiler.Compile(cfg.filename(), cur)
 		t.add(StepAction, "Compiler", "submitting the revised code")
-		t.add(StepObservation, "", res.Log)
 		if res.Ok {
+			t.add(StepObservation, "", res.Log)
 			t.Success = true
 			t.FinalCode = cur
 			t.add(StepAction, "Finish", "the revised code compiles cleanly")
 			return t
 		}
+		obs = observe(cfg, cur, res, t)
+		t.add(StepObservation, "", obs)
 	}
 	t.FinalCode = cur
 	t.add(StepAction, "Finish", "iteration budget exhausted; returning the best attempt")

@@ -1,0 +1,92 @@
+package agent
+
+import (
+	"strings"
+	"testing"
+)
+
+// latchWithSemaError parses cleanly but fails elaboration (undeclared
+// identifiers), the common mid-repair state: the analyzer must still
+// surface the inferred latch alongside the compile errors.
+const latchWithSemaError = `module top_module (
+	input sel,
+	input a,
+	output reg y
+);
+	always @(*) begin
+		if (sel) y = a;
+	end
+	assign y2 = missing_signal;
+endmodule
+`
+
+func TestAnalyzerFindingsReachModelFeedback(t *testing.T) {
+	cfg := quartusCfg(7, false)
+	cfg.MaxIterations = 1
+	tr := RunReAct(cfg, latchWithSemaError)
+
+	var lintObs string
+	for _, s := range tr.Steps {
+		if s.Kind == StepObservation && strings.Contains(s.Content, "lint: main.v:") {
+			lintObs = s.Content
+			break
+		}
+	}
+	if lintObs == "" {
+		t.Fatalf("no observation carries lint findings:\n%s", tr.Render())
+	}
+	// The observation text is the same string passed as
+	// RepairRequest.Feedback, so asserting it asserts the prompt.
+	if !strings.Contains(lintObs, "[L001 inferred-latch]") {
+		t.Fatalf("latch finding missing from feedback:\n%s", lintObs)
+	}
+	if !strings.Contains(lintObs, "Error (") && !strings.Contains(lintObs, "error") {
+		t.Fatalf("compiler log vanished from the observation:\n%s", lintObs)
+	}
+	if tr.LintFindings == 0 {
+		t.Fatal("transcript did not count surfaced findings")
+	}
+
+	cfg.DisableAnalyzer = true
+	tr = RunReAct(cfg, latchWithSemaError)
+	for _, s := range tr.Steps {
+		if strings.Contains(s.Content, "lint:") {
+			t.Fatalf("lint line surfaced with the analyzer disabled: %q", s.Content)
+		}
+	}
+	if tr.LintFindings != 0 {
+		t.Fatalf("LintFindings = %d with analyzer disabled", tr.LintFindings)
+	}
+}
+
+func TestAnalyzerFeedbackInOneShot(t *testing.T) {
+	cfg := quartusCfg(3, false)
+	tr := RunOneShot(cfg, latchWithSemaError)
+	found := false
+	for _, s := range tr.Steps {
+		if s.Kind == StepObservation && strings.Contains(s.Content, "[L001 inferred-latch]") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("one-shot feedback carries no analyzer findings:\n%s", tr.Render())
+	}
+}
+
+// TestAnalyzerTransparentToFixRate pins the design guarantee behind the
+// analyzer A/B: the simulated model's log analysis ignores the lint
+// dialect, so surfacing findings changes the prompt text but not the
+// repair trajectory — fix outcomes are identical with the analyzer on
+// or off (a real LLM would, of course, read the extra lines).
+func TestAnalyzerTransparentToFixRate(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		on := RunReAct(quartusCfg(seed, true), brokenClk)
+		offCfg := quartusCfg(seed, true)
+		offCfg.DisableAnalyzer = true
+		off := RunReAct(offCfg, brokenClk)
+		if on.Success != off.Success || on.Iterations != off.Iterations || on.FinalCode != off.FinalCode {
+			t.Fatalf("seed %d: analyzer changed the outcome: on=(%v,%d) off=(%v,%d)",
+				seed, on.Success, on.Iterations, off.Success, off.Iterations)
+		}
+	}
+}

@@ -44,8 +44,8 @@ func fixerLabel(f *core.RTLFixer) string {
 	if o.Retriever != nil {
 		ret = o.Retriever.Name()
 	}
-	return fmt.Sprintf("mode=%s,rag=%v,comp=%s,llm=%s,iters=%d,seed=%d,ret=%s",
-		o.Mode, o.RAG, o.CompilerName, o.PersonaName, o.MaxIterations, o.Seed, ret)
+	return fmt.Sprintf("mode=%s,rag=%v,comp=%s,llm=%s,iters=%d,seed=%d,ret=%s,analyze=%v",
+		o.Mode, o.RAG, o.CompilerName, o.PersonaName, o.MaxIterations, o.Seed, ret, !o.DisableAnalyzer)
 }
 
 // RecordOnly wraps a journal so lookups always miss: a fresh run records
@@ -74,7 +74,9 @@ type StoreJournal struct {
 // NewStoreJournal wraps a backing.
 func NewStoreJournal(b store.Backing) *StoreJournal { return &StoreJournal{b: b} }
 
-const benchPayloadV = 1
+// benchPayloadV 2 added the outcome's LintFindings count; stale v1
+// entries degrade to a re-run.
+const benchPayloadV = 2
 
 // Lookup implements pipeline.Journal.
 func (j *StoreJournal) Lookup(label string, jb pipeline.Job) (pipeline.Outcome, bool) {
@@ -104,6 +106,7 @@ func (j *StoreJournal) Lookup(label string, jb pipeline.Job) (pipeline.Outcome, 
 	for i := int64(0); i < n; i++ {
 		o.FixerRules = append(o.FixerRules, d.String())
 	}
+	o.LintFindings = int(d.Varint())
 	o.ElapsedNS = d.I64()
 	if !d.Ok() {
 		return pipeline.Outcome{}, false
@@ -127,6 +130,7 @@ func (j *StoreJournal) Record(label string, jb pipeline.Job, o pipeline.Outcome)
 	for _, r := range o.FixerRules {
 		e.String(r)
 	}
+	e.Varint(int64(o.LintFindings))
 	e.I64(o.ElapsedNS)
 	j.b.Put(store.KindBenchJob, pipeline.JobKey(label, jb), e.Bytes())
 }

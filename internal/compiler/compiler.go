@@ -71,6 +71,7 @@ func Frontend(src string) (*verilog.SourceFile, *sema.Design, diag.List) {
 	all := make(diag.List, 0, len(parseDiags)+len(semaDiags))
 	all = append(all, parseDiags...)
 	all = append(all, semaDiags...)
+	all = all.Dedupe()
 	all.SortByPos()
 	if all.HasErrors() {
 		return file, nil, all
@@ -253,6 +254,20 @@ func quartusCode(c diag.Category) int {
 		return 10125
 	case diag.CatWidthMismatch:
 		return 10230
+	case diag.CatInferredLatch:
+		return 10240
+	case diag.CatIncompleteSensitivity:
+		return 10235
+	case diag.CatAssignStyle:
+		return 10237
+	case diag.CatCombLoop:
+		return 10244
+	case diag.CatReadBeforeWrite:
+		return 10030
+	case diag.CatUnusedSignal:
+		return 12241
+	case diag.CatAliasHazard:
+		return 10268
 	default:
 		return 10170
 	}

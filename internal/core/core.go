@@ -9,7 +9,9 @@ import (
 	"fmt"
 
 	"repro/internal/agent"
+	"repro/internal/analyze"
 	"repro/internal/compiler"
+	"repro/internal/diag"
 	"repro/internal/llm"
 	"repro/internal/memo"
 	"repro/internal/rag"
@@ -53,6 +55,12 @@ type Options struct {
 	Cache bool
 	// CacheCapacity bounds the compile cache (entries); 0 = default.
 	CacheCapacity int
+	// DisableAnalyzer turns off the semantic lint engine
+	// (internal/analyze). With the analyzer on — the default — Lint
+	// appends its findings to the persona diagnostics and the agent's
+	// compile observations carry the rendered findings as extra model
+	// feedback.
+	DisableAnalyzer bool
 	// Store, with Cache on, is the durable backing under the memo layer
 	// (internal/store): the compile cache warm-starts from it and writes
 	// behind, and the retrieval index is restored from its persisted
@@ -150,9 +158,33 @@ func (f *RTLFixer) Options() Options { return f.opts }
 // Lint compiles the source through the configured persona without running
 // the agent — the cheap diagnostic path (served from the compile cache
 // when Options.Cache is on). The returned Result carries the persona log
-// and the structured diagnostics.
+// and the structured diagnostics; with the analyzer on, semantic-lint
+// findings are appended to a copy of the diagnostics (the cached slice is
+// never mutated).
 func (f *RTLFixer) Lint(filename, code string) compiler.Result {
-	return f.compiler.Compile(filename, code)
+	res := f.compiler.Compile(filename, code)
+	if f.opts.DisableAnalyzer {
+		return res
+	}
+	findings := f.Analyze(code)
+	if len(findings) == 0 {
+		return res
+	}
+	diags := make(diag.List, 0, len(res.Diags)+len(findings))
+	diags = append(diags, res.Diags...)
+	diags = append(diags, findings...)
+	res.Diags = diags
+	return res
+}
+
+// Analyze runs the semantic lint engine alone over the source and returns
+// its findings (nil when the source does not parse, or when the analyzer
+// is disabled). Unlike Lint it never consults the compiler persona.
+func (f *RTLFixer) Analyze(code string) diag.List {
+	if f.opts.DisableAnalyzer {
+		return nil
+	}
+	return analyze.Source(code, analyze.Options{})
 }
 
 // Database returns the retrieval database, nil when RAG is off.
@@ -165,13 +197,14 @@ func (f *RTLFixer) Database() *rag.Database { return f.db }
 // systematic weaknesses do.
 func (f *RTLFixer) Fix(filename, code string, sampleSeed int64) *agent.Transcript {
 	cfg := agent.Config{
-		Compiler:      f.compiler,
-		Model:         llm.NewModel(f.persona, f.opts.Seed^sampleSeed),
-		DB:            f.db,
-		Retriever:     f.retriever,
-		MaxIterations: f.opts.MaxIterations,
-		Filename:      filename,
-		SampleSeed:    sampleSeed,
+		Compiler:        f.compiler,
+		Model:           llm.NewModel(f.persona, f.opts.Seed^sampleSeed),
+		DB:              f.db,
+		Retriever:       f.retriever,
+		MaxIterations:   f.opts.MaxIterations,
+		Filename:        filename,
+		SampleSeed:      sampleSeed,
+		DisableAnalyzer: f.opts.DisableAnalyzer,
 	}
 	if f.opts.Mode == ModeOneShot {
 		return agent.RunOneShot(cfg, code)

@@ -106,6 +106,40 @@ const (
 	// but it is almost always a bug.
 	CatMultipleDrivers
 
+	// The categories below are emitted only by the semantic lint engine
+	// (internal/analyze), never by the frontend. They classify code that
+	// elaborates cleanly but is likely to misbehave in hardware.
+
+	// CatInferredLatch is a combinational always block that does not assign
+	// a variable on every control path, so synthesis infers a level-
+	// sensitive latch to hold the old value.
+	CatInferredLatch
+	// CatIncompleteSensitivity is a level-sensitive always block whose
+	// explicit event list omits a signal the body reads — simulation and
+	// synthesis disagree about when the block wakes.
+	CatIncompleteSensitivity
+	// CatAssignStyle is a procedural assignment using the wrong operator
+	// for its context: blocking '=' inside a clocked block, or
+	// nonblocking '<=' inside a combinational block.
+	CatAssignStyle
+	// CatCombLoop is a cycle through combinational logic (continuous
+	// assignments and level-sensitive always blocks) with no register to
+	// break it.
+	CatCombLoop
+	// CatReadBeforeWrite is a combinational block that reads a variable it
+	// also assigns before any path has assigned it — the read sees the
+	// stale value from the previous activation (an X in 4-state sim).
+	CatReadBeforeWrite
+	// CatUnusedSignal is a declared signal that nothing reads (or nothing
+	// reads nor writes).
+	CatUnusedSignal
+	// CatAliasHazard is a statically detectable aliasing construct: a
+	// part-select store whose right-hand side reads the same underlying
+	// signal, or a module-scope loop variable shared as a nonblocking
+	// index across always blocks. These are exactly the shapes behind the
+	// engine/walker divergences in TestEngineRegressions.
+	CatAliasHazard
+
 	numCategories
 )
 
@@ -132,6 +166,14 @@ var categoryNames = map[Category]string{
 	CatBadConcat:          "bad-concatenation",
 	CatGiveUp:             "give-up",
 	CatMultipleDrivers:    "multiple-drivers",
+
+	CatInferredLatch:         "inferred-latch",
+	CatIncompleteSensitivity: "incomplete-sensitivity",
+	CatAssignStyle:           "assignment-style",
+	CatCombLoop:              "combinational-loop",
+	CatReadBeforeWrite:       "read-before-write",
+	CatUnusedSignal:          "unused-signal",
+	CatAliasHazard:           "alias-hazard",
 }
 
 // String returns the stable kebab-case tag for the category. These tags are
@@ -207,6 +249,13 @@ type Diagnostic struct {
 	// Suggestion is an optional hint about how to fix the problem. Only
 	// the high-quality persona (Quartus-style) surfaces it.
 	Suggestion string
+	// Rule is the stable per-rule code ("L001", ...) when the diagnostic
+	// came from the semantic lint engine; empty for frontend diagnostics.
+	Rule string
+	// Related holds additional positions involved in the problem — e.g.
+	// every conflicting drive site of a multiply-driven signal. Pos is the
+	// primary site; Related lists the others, in source order.
+	Related []Pos
 }
 
 // Error makes Diagnostic usable as an error value.
@@ -302,6 +351,47 @@ func (l List) First() (Diagnostic, bool) {
 // positions).
 func (l List) SortByPos() {
 	sort.SliceStable(l, func(i, j int) bool { return l[i].Pos.Before(l[j].Pos) })
+}
+
+// Dedupe removes diagnostics that repeat an earlier one exactly (same
+// severity, category, position, symbol, and message), preserving order.
+// Repeated elaboration of unrolled constructs can report the same
+// problem several times; rendering each copy only spams the fixer
+// prompt. Returns the deduplicated list (the receiver is not modified;
+// a list with no duplicates is returned as-is, allocation-free).
+func (l List) Dedupe() List {
+	type key struct {
+		sev  Severity
+		cat  Category
+		pos  Pos
+		sym  string
+		msg  string
+		rule string
+	}
+	seen := make(map[key]bool, len(l))
+	dup := false
+	for _, d := range l {
+		k := key{d.Severity, d.Category, d.Pos, d.Symbol, d.Message, d.Rule}
+		if seen[k] {
+			dup = true
+			break
+		}
+		seen[k] = true
+	}
+	if !dup {
+		return l
+	}
+	out := make(List, 0, len(l))
+	clear(seen)
+	for _, d := range l {
+		k := key{d.Severity, d.Category, d.Pos, d.Symbol, d.Message, d.Rule}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, d)
+	}
+	return out
 }
 
 // Summary renders a compact single-line summary, mostly for logs and tests.

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analyze"
+	"repro/internal/diag"
 	"repro/internal/sim"
 )
 
@@ -38,6 +40,23 @@ type Divergence struct {
 	Minimized string
 	// TestCase is a ready-to-paste engine_regress_test.go table entry.
 	TestCase string
+	// AliasFindings is how many alias-hazard findings (rule L010) the
+	// static analyzer reports on Source. The alias rule is a static
+	// oracle for the divergence classes the generator aims at: a
+	// divergence on an analyzer-clean module (AnalyzerClean, zero
+	// findings) escaped both the static model and the generator's intent
+	// and is a high-priority find.
+	AliasFindings int
+	AnalyzerClean bool
+}
+
+// Priority labels a find for triage: "high" when the static alias
+// oracle saw nothing wrong with the module, "normal" otherwise.
+func (d Divergence) Priority() string {
+	if d.AnalyzerClean {
+		return "high"
+	}
+	return "normal"
 }
 
 // Stats summarizes a campaign.
@@ -46,7 +65,10 @@ type Stats struct {
 	Checked   int // modules that compiled on both backends and ran
 	Skipped   int // frontend/compile rejections (generator misses)
 	Diverged  int
-	Elapsed   time.Duration
+	// CleanDiverged counts divergences on modules the alias-hazard
+	// analyzer rule found nothing wrong with (high-priority finds).
+	CleanDiverged int
+	Elapsed       time.Duration
 }
 
 // Rate returns modules checked per second.
@@ -58,8 +80,8 @@ func (s Stats) Rate() float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("generated=%d checked=%d skipped=%d diverged=%d elapsed=%s rate=%.0f/s",
-		s.Generated, s.Checked, s.Skipped, s.Diverged, s.Elapsed.Round(time.Millisecond), s.Rate())
+	return fmt.Sprintf("generated=%d checked=%d skipped=%d diverged=%d (clean=%d) elapsed=%s rate=%.0f/s",
+		s.Generated, s.Checked, s.Skipped, s.Diverged, s.CleanDiverged, s.Elapsed.Round(time.Millisecond), s.Rate())
 }
 
 // Run executes the campaign and returns its stats plus every
@@ -97,6 +119,14 @@ func Run(opts Options) (Stats, []Divergence) {
 			Source:    src,
 			Mismatch:  rep.First().String(),
 			Minimized: src,
+			// Cross-check against the static alias oracle: the analyzer
+			// only runs on divergences, so the campaign's generation and
+			// input RNG streams are untouched.
+			AliasFindings: len(AliasFindingsFor(src)),
+		}
+		div.AnalyzerClean = div.AliasFindings == 0
+		if div.AnalyzerClean {
+			stats.CleanDiverged++
 		}
 		if opts.Minimize {
 			div.Minimized = Minimize(src, opts.Cycles, seed)
@@ -109,6 +139,12 @@ func Run(opts Options) (Stats, []Divergence) {
 		opts.Progress(opts.Count, stats)
 	}
 	return stats, finds
+}
+
+// AliasFindingsFor runs only the alias-hazard analyzer rule (L010) over
+// a module — the static side of the campaign's cross-check oracle.
+func AliasFindingsFor(src string) diag.List {
+	return analyze.Source(src, analyze.Options{Rules: []string{"L010"}})
 }
 
 // CheckSource runs one module through the shared differential path.

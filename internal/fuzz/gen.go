@@ -31,6 +31,13 @@ type GenConfig struct {
 	// mutator on top of the generated module, in [0,1]. Negative
 	// disables mutation; zero defaults to 0.5.
 	MutateProb float64
+	// AliasBias, in (0,1], redraws that fraction of non-hazard statement
+	// picks into the alias-hazard shapes (self-aliasing slice stores,
+	// shared-loop-variable dynamic indexing) the analyzer's L010 rule
+	// models. Zero — the default — draws no extra random numbers, so the
+	// generated stream is byte-identical to earlier campaigns and CI
+	// replays stay valid.
+	AliasBias float64
 }
 
 func (c GenConfig) withDefaults() GenConfig {
@@ -274,7 +281,13 @@ func (g *generator) stmt(b *strings.Builder, tgt signal, clocked bool, depth int
 	if clocked && g.rng.Intn(2) == 0 {
 		op = "<="
 	}
-	switch pick := g.rng.Intn(10); {
+	pick := g.rng.Intn(10)
+	if g.cfg.AliasBias > 0 && pick >= 6 && g.rng.Float64() < g.cfg.AliasBias {
+		// Biased campaign: fold a non-hazard draw back into the
+		// alias-hazard statement range.
+		pick = g.rng.Intn(6)
+	}
+	switch {
 	case pick < 3 && tgt.width >= 3:
 		// Hazard: whole store followed by a self-aliasing slice store.
 		lo := 1 + g.rng.Intn(tgt.width-2)

@@ -40,7 +40,7 @@ import (
 // Payload schema versions, one per record kind. Bump when the layout
 // changes; old payloads are then ignored and rewritten on the next miss.
 const (
-	compilePayloadV   = 1
+	compilePayloadV   = 2 // v2: diagnostics carry Rule + Related positions
 	simPayloadV       = 1
 	retrievalPayloadV = 1
 )
@@ -72,6 +72,13 @@ func encodeCompileRecord(persona, filename, src string, res compiler.Result) []b
 		e.String(d.Symbol)
 		e.String(d.Message)
 		e.String(d.Suggestion)
+		e.String(d.Rule)
+		e.Bool(d.Related == nil)
+		e.Varint(int64(len(d.Related)))
+		for _, p := range d.Related {
+			e.Varint(int64(p.Line))
+			e.Varint(int64(p.Col))
+		}
 	}
 	return e.Bytes()
 }
@@ -106,6 +113,21 @@ func decodeCompileRecord(data []byte) (persona, filename, src string, res compil
 		dg.Symbol = d.String()
 		dg.Message = d.String()
 		dg.Suggestion = d.String()
+		dg.Rule = d.String()
+		nilRelated := d.Bool()
+		nr := d.Varint()
+		if d.Err() != nil || nr < 0 || nr > 1<<20 {
+			return "", "", "", compiler.Result{}, false
+		}
+		if !nilRelated {
+			dg.Related = make([]diag.Pos, 0, nr)
+		}
+		for j := int64(0); j < nr; j++ {
+			var p diag.Pos
+			p.Line = int(d.Varint())
+			p.Col = int(d.Varint())
+			dg.Related = append(dg.Related, p)
+		}
 		res.Diags = append(res.Diags, dg)
 	}
 	if !d.Ok() {

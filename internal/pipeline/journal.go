@@ -35,6 +35,9 @@ type Outcome struct {
 	Iterations int
 	FinalCode  string
 	FixerRules []string
+	// LintFindings preserves the transcript's analyzer-findings count so
+	// the analyzer A/B table survives a resume.
+	LintFindings int
 	// ElapsedNS preserves the original run's per-job wall-clock time, so
 	// aggregate work accounting survives a resume.
 	ElapsedNS int64
@@ -76,21 +79,23 @@ func JobKey(label string, j Job) uint64 {
 // transcript rebuilds the replayable view of a journaled completion.
 func (o Outcome) transcript() *agent.Transcript {
 	return &agent.Transcript{
-		Success:    o.Success,
-		Iterations: o.Iterations,
-		FinalCode:  o.FinalCode,
-		FixerRules: o.FixerRules,
+		Success:      o.Success,
+		Iterations:   o.Iterations,
+		FinalCode:    o.FinalCode,
+		FixerRules:   o.FixerRules,
+		LintFindings: o.LintFindings,
 	}
 }
 
 // OutcomeOf extracts the journaled essence of a completed result.
 func OutcomeOf(r Result) Outcome {
 	return Outcome{
-		Success:    r.Transcript.Success,
-		Iterations: r.Transcript.Iterations,
-		FinalCode:  r.Transcript.FinalCode,
-		FixerRules: r.Transcript.FixerRules,
-		ElapsedNS:  int64(r.Elapsed),
+		Success:      r.Transcript.Success,
+		Iterations:   r.Transcript.Iterations,
+		FinalCode:    r.Transcript.FinalCode,
+		FixerRules:   r.Transcript.FixerRules,
+		LintFindings: r.Transcript.LintFindings,
+		ElapsedNS:    int64(r.Elapsed),
 	}
 }
 

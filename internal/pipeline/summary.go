@@ -34,6 +34,9 @@ type Summary struct {
 	// IterationHist[i] counts successful fixes that needed i revisions
 	// (index 0 unused; 1..agent.DefaultMaxIterations), Figure 7's data.
 	IterationHist [agent.DefaultMaxIterations + 1]int
+	// LintFindings sums the analyzer findings surfaced to the model
+	// across all completed transcripts (0 with the analyzer off).
+	LintFindings int
 	// TotalWork sums per-job elapsed time: the serial cost the pool
 	// amortized.
 	TotalWork time.Duration
@@ -64,6 +67,7 @@ func Summarize(results []Result) *Summary {
 			continue
 		}
 		s.Completed++
+		s.LintFindings += r.Transcript.LintFindings
 		s.GroupTotal[r.Job.Group]++
 		if r.Transcript.Success {
 			s.Succeeded++
@@ -111,6 +115,7 @@ func Merge(parts ...*Summary) *Summary {
 		m.Succeeded += p.Succeeded
 		m.Failed += p.Failed
 		m.Errored += p.Errored
+		m.LintFindings += p.LintFindings
 		m.TotalWork += p.TotalWork
 		m.Cache = m.Cache.Add(p.Cache)
 		for g := range p.GroupTotal {

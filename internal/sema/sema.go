@@ -298,22 +298,17 @@ func (e *elaborator) checkPorts(m *verilog.Module) {
 // block. Both reference compilers flag this; it stays warning-level here
 // because two-state simulation still resolves deterministically.
 func (e *elaborator) checkDrivers(m *verilog.Module) {
-	assignDrivers := map[string]int{}
-	alwaysDrivers := map[string]int{}
-	firstPos := map[string]diag.Pos{}
+	// Every drive site is recorded so the diagnostic can point at each
+	// offender: Pos is the first site, Related the remaining ones.
+	assignSites := map[string][]diag.Pos{}
+	alwaysSites := map[string][]diag.Pos{}
 
-	record := func(m map[string]int, lhs verilog.Expr, pos diag.Pos) {
-		for _, name := range lhsBaseNames(lhs) {
-			m[name]++
-			if _, ok := firstPos[name]; !ok {
-				firstPos[name] = pos
-			}
-		}
-	}
 	for _, item := range m.Items {
 		switch it := item.(type) {
 		case *verilog.AssignItem:
-			record(assignDrivers, it.LHS, it.Pos())
+			for _, name := range lhsBaseNames(it.LHS) {
+				assignSites[name] = append(assignSites[name], it.Pos())
+			}
 		case *verilog.AlwaysBlock:
 			seen := map[string]bool{}
 			verilog.WalkStmts(it.Body, func(s verilog.Stmt) {
@@ -324,32 +319,35 @@ func (e *elaborator) checkDrivers(m *verilog.Module) {
 				for _, name := range lhsBaseNames(as.LHS) {
 					if !seen[name] {
 						seen[name] = true
-						alwaysDrivers[name]++
-						if _, ok := firstPos[name]; !ok {
-							firstPos[name] = as.Pos()
-						}
+						alwaysSites[name] = append(alwaysSites[name], as.Pos())
 					}
 				}
 			})
 		}
 	}
-	for name, n := range assignDrivers {
+	warn := func(sites []diag.Pos, name, format string, args ...any) {
+		d := diag.Warningf(diag.CatMultipleDrivers, sites[0], format, args...)
+		d.Symbol = name
+		if len(sites) > 1 {
+			d.Related = append([]diag.Pos(nil), sites[1:]...)
+		}
+		e.diags.Add(d)
+	}
+	for name, sites := range assignSites {
 		// Bit/part-select assigns of disjoint slices are a legitimate
 		// idiom only within always blocks; two whole-signal continuous
 		// drivers are flagged regardless.
-		if n > 1 {
-			e.warnf(diag.CatMultipleDrivers, firstPos[name], name,
-				"'%s' is driven by %d continuous assignments", name, n)
+		if len(sites) > 1 {
+			warn(sites, name, "'%s' is driven by %d continuous assignments", name, len(sites))
 		}
-		if alwaysDrivers[name] > 0 {
-			e.warnf(diag.CatMultipleDrivers, firstPos[name], name,
+		if aw := alwaysSites[name]; len(aw) > 0 {
+			warn(append(append([]diag.Pos(nil), sites[0]), aw...), name,
 				"'%s' is driven by both a continuous assignment and an always block", name)
 		}
 	}
-	for name, n := range alwaysDrivers {
-		if n > 1 {
-			e.warnf(diag.CatMultipleDrivers, firstPos[name], name,
-				"'%s' is driven from %d always blocks", name, n)
+	for name, sites := range alwaysSites {
+		if len(sites) > 1 {
+			warn(sites, name, "'%s' is driven from %d always blocks", name, len(sites))
 		}
 	}
 }

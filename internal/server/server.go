@@ -133,6 +133,7 @@ type fixerKey struct {
 	mode     core.Mode
 	rag      bool
 	iters    int
+	analyze  bool
 }
 
 // Server is the fix service. It implements http.Handler; wire it into an
@@ -240,6 +241,10 @@ type fixRequest struct {
 	RAG *bool `json:"rag"`
 	// MaxIterations bounds ReAct revisions; 0 = the paper's 10.
 	MaxIterations int `json:"max_iterations"`
+	// Analyze runs the semantic lint rules over the source: /v1/lint
+	// appends their findings to the response, /v1/fix surfaces them in the
+	// model's feedback. Default true.
+	Analyze *bool `json:"analyze"`
 	// Seed selects the problem instance (sampleSeed); default 1.
 	Seed *int64 `json:"seed"`
 	// TimeoutMS is the request deadline; 0 = server default.
@@ -263,11 +268,32 @@ type fixResponse struct {
 	Transcript string  `json:"transcript,omitempty"`
 }
 
+// lintPos is a secondary source position inside a lint finding.
+type lintPos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// lintFinding is one structured diagnostic in the /v1/lint response.
+// Compiler-frontend diagnostics have an empty rule; analyzer findings
+// carry their stable L-code.
+type lintFinding struct {
+	Rule     string    `json:"rule,omitempty"`
+	Severity string    `json:"severity"`
+	Category string    `json:"category"`
+	Line     int       `json:"line"`
+	Col      int       `json:"col"`
+	Symbol   string    `json:"symbol,omitempty"`
+	Message  string    `json:"message"`
+	Related  []lintPos `json:"related,omitempty"`
+}
+
 // lintResponse is the POST /v1/lint success body.
 type lintResponse struct {
-	Ok     bool   `json:"ok"`
-	Log    string `json:"log"`
-	Errors int    `json:"errors"`
+	Ok       bool          `json:"ok"`
+	Log      string        `json:"log"`
+	Errors   int           `json:"errors"`
+	Findings []lintFinding `json:"findings"`
 }
 
 type errorResponse struct {
@@ -362,6 +388,13 @@ func (r *fixRequest) rag() bool {
 	return *r.RAG
 }
 
+func (r *fixRequest) analyze() bool {
+	if r.Analyze == nil {
+		return true
+	}
+	return *r.Analyze
+}
+
 func (r *fixRequest) seed() int64 {
 	if r.Seed == nil {
 		return 1
@@ -376,6 +409,7 @@ func (r *fixRequest) key() fixerKey {
 		mode:     core.Mode(r.Mode),
 		rag:      r.rag(),
 		iters:    r.MaxIterations,
+		analyze:  r.analyze(),
 	}
 }
 
@@ -429,14 +463,15 @@ func (s *Server) fixerFor(key fixerKey) (*core.RTLFixer, error) {
 		backing = s.cfg.Store
 	}
 	f, err := core.New(core.Options{
-		CompilerName:  key.compiler,
-		PersonaName:   key.persona,
-		RAG:           key.rag,
-		Mode:          key.mode,
-		MaxIterations: key.iters,
-		Seed:          s.cfg.Seed,
-		Cache:         !s.cfg.DisableCache,
-		Store:         backing,
+		CompilerName:    key.compiler,
+		PersonaName:     key.persona,
+		RAG:             key.rag,
+		Mode:            key.mode,
+		MaxIterations:   key.iters,
+		Seed:            s.cfg.Seed,
+		Cache:           !s.cfg.DisableCache,
+		DisableAnalyzer: !key.analyze,
+		Store:           backing,
 	})
 	if err != nil {
 		return nil, err
@@ -560,14 +595,30 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := fixer.Lint(req.Filename, req.Source)
-	errs := 0
+	resp := lintResponse{Ok: res.Ok, Log: res.Log, Findings: []lintFinding{}}
 	for _, d := range res.Diags {
 		if d.Severity == diag.SeverityError {
-			errs++
+			resp.Errors++
+		}
+		f := lintFinding{
+			Rule:     d.Rule,
+			Severity: d.Severity.String(),
+			Category: d.Category.String(),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Col,
+			Symbol:   d.Symbol,
+			Message:  d.Message,
+		}
+		for _, rp := range d.Related {
+			f.Related = append(f.Related, lintPos{Line: rp.Line, Col: rp.Col})
+		}
+		resp.Findings = append(resp.Findings, f)
+		if d.Rule != "" {
+			s.st.countFinding(d.Rule)
 		}
 	}
 	s.st.lintLatency.Observe(msSince(started))
-	writeJSON(w, http.StatusOK, lintResponse{Ok: res.Ok, Log: res.Log, Errors: errs})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz serves GET /v1/healthz; a draining server answers 503 so

@@ -560,3 +560,69 @@ func TestFixerPoolBounded(t *testing.T) {
 		t.Fatalf("max_iterations over the clamp = %d, want 400", st)
 	}
 }
+
+// latchSource is clean to the compiler frontend but dirty to the
+// analyzer: y holds a latch and the sensitivity list is incomplete.
+const latchSource = `module top_module (
+	input sel,
+	input a,
+	output reg y
+);
+	always @(a) begin
+		if (sel) y = a;
+	end
+endmodule
+`
+
+func TestLintStructuredFindings(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	post := func(body map[string]any) lintResponse {
+		t.Helper()
+		data, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+"/v1/lint", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("lint status = %d", resp.StatusCode)
+		}
+		var out lintResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	out := post(map[string]any{"source": latchSource})
+	if !out.Ok {
+		t.Fatalf("frontend-clean source reported not ok: %+v", out)
+	}
+	rules := map[string]int{}
+	for _, f := range out.Findings {
+		rules[f.Rule]++
+		if f.Rule != "" && (f.Severity != "warning" || f.Line == 0 || f.Message == "") {
+			t.Errorf("malformed finding: %+v", f)
+		}
+	}
+	if rules["L001"] == 0 || rules["L002"] == 0 {
+		t.Fatalf("latch/sensitivity findings missing: %v", rules)
+	}
+
+	// The toggle routes to a separate pooled fixer with the analyzer off.
+	off := post(map[string]any{"source": latchSource, "analyze": false})
+	if len(off.Findings) != 0 {
+		t.Fatalf("analyze=false still returned findings: %+v", off.Findings)
+	}
+	if s.Fixers() != 2 {
+		t.Fatalf("analyzer toggle did not split the fixer pool: %d fixers", s.Fixers())
+	}
+
+	snap := s.Stats()
+	if snap.Lint.FindingsByRule["L001"] == 0 || snap.Lint.FindingsByRule["L002"] == 0 {
+		t.Fatalf("stats did not count findings by rule: %v", snap.Lint.FindingsByRule)
+	}
+	if _, ok := snap.Lint.FindingsByRule["L010"]; !ok {
+		t.Fatal("stats snapshot omits zero-count rules")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/analyze"
 	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/store"
@@ -48,6 +49,13 @@ type serverStats struct {
 
 	fixLatency  *metrics.Histogram
 	lintLatency *metrics.Histogram
+
+	// findingsByRule counts analyzer findings served through /v1/lint,
+	// keyed by rule code. The key set is fixed at init from the static
+	// rule registry, so the counters are lock-free; codes outside the
+	// registry land in findingsOther.
+	findingsByRule map[string]*metrics.Counter
+	findingsOther  metrics.Counter
 }
 
 func (st *serverStats) init() {
@@ -57,6 +65,18 @@ func (st *serverStats) init() {
 	}
 	st.fixLatency = metrics.NewLatencyHistogram()
 	st.lintLatency = metrics.NewLatencyHistogram()
+	st.findingsByRule = make(map[string]*metrics.Counter, len(analyze.Rules()))
+	for _, r := range analyze.Rules() {
+		st.findingsByRule[r.Code] = &metrics.Counter{}
+	}
+}
+
+func (st *serverStats) countFinding(rule string) {
+	if c, ok := st.findingsByRule[rule]; ok {
+		c.Inc()
+		return
+	}
+	st.findingsOther.Inc()
 }
 
 func (st *serverStats) countStatus(code int) {
@@ -109,6 +129,14 @@ type StatsSnapshot struct {
 		QueueDepth  int   `json:"queue_depth"`
 		Draining    bool  `json:"draining"`
 	} `json:"queue"`
+
+	// Lint aggregates the analyzer findings served through /v1/lint,
+	// keyed by rule code ("L001", ...); "other" collects codes outside
+	// the registry. Zero-count rules are included so dashboards see the
+	// full rule set.
+	Lint struct {
+		FindingsByRule map[string]uint64 `json:"findings_by_rule"`
+	} `json:"lint"`
 
 	// Fixers is the number of distinct pooled configurations.
 	Fixers int `json:"fixers"`
@@ -192,6 +220,14 @@ func (s *Server) Stats() StatsSnapshot {
 	snap.Queue.MaxInFlight = s.cfg.MaxInFlight
 	snap.Queue.QueueDepth = s.cfg.QueueDepth
 	snap.Queue.Draining = s.isDraining()
+
+	snap.Lint.FindingsByRule = make(map[string]uint64, len(st.findingsByRule)+1)
+	for code, c := range st.findingsByRule {
+		snap.Lint.FindingsByRule[code] = c.Value()
+	}
+	if v := st.findingsOther.Value(); v > 0 {
+		snap.Lint.FindingsByRule["other"] = v
+	}
 
 	snap.Fixers = s.Fixers()
 	snap.LatencyFixMS = st.fixLatency.Snapshot()

@@ -538,7 +538,7 @@ func (c *compiler) schedule() {
 		}
 	}
 
-	sccs := tarjan(adj)
+	sccs := Tarjan(adj)
 	// Tarjan pops callees first: reverse for writers-before-readers order.
 	for i := len(sccs) - 1; i >= 0; i-- {
 		scc := sccs[i]
@@ -554,8 +554,13 @@ func (c *compiler) schedule() {
 	}
 }
 
-// tarjan returns the strongly connected components of adj.
-func tarjan(adj [][]int) [][]int {
+// Tarjan returns the strongly connected components of the adjacency
+// list adj (node i's successors are adj[i]), in reverse topological
+// order: a component is emitted only after every component it reaches.
+// The engine scheduler uses it for writers-before-readers process
+// ordering; the semantic lint engine (internal/analyze) reuses it for
+// combinational-loop detection.
+func Tarjan(adj [][]int) [][]int {
 	n := len(adj)
 	index := make([]int, n)
 	low := make([]int, n)

@@ -1,0 +1,8 @@
+// Dirty on purpose: y -> w -> y is a combinational cycle (L006), the
+// comb block assigns with <= (L003), and input spare is never read
+// (L009).
+module comb_loop(input a, input spare, output reg y);
+	wire w;
+	assign w = y | a;
+	always @(*) y <= w ^ a;
+endmodule

@@ -1,0 +1,8 @@
+// Dirty on purpose: y latches (L001), the event list misses b and sel
+// (L002), and z reads y before the block assigns it (L008).
+module latch_sensitivity(input sel, input a, input b, output reg y, output reg z);
+	always @(a) begin
+		z = y & b;
+		if (sel) y = a;
+	end
+endmodule

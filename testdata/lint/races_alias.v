@@ -1,0 +1,11 @@
+// Dirty on purpose: q is driven from two clocked blocks (L005), the
+// clocked block uses blocking stores (L004), y truncates an 8-bit sum
+// (L007), and q[4:1] = q is a self-aliasing slice store (L010).
+module races_alias(input clk, input [7:0] a, input [7:0] b, output reg [3:0] y, output reg [7:0] q);
+	always @(posedge clk) begin
+		q = a;
+		q[4:1] = q;
+	end
+	always @(posedge clk) q <= b;
+	always @(*) y = a + b;
+endmodule

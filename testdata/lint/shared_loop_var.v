@@ -1,0 +1,14 @@
+// Dirty on purpose: two clocked blocks share the module-scope loop
+// variable i as a nonblocking store index (L010), and scratch is
+// written but never read (L009).
+module shared_loop_var(input clk, input [7:0] d, output reg [7:0] q);
+	integer i;
+	reg [7:0] scratch;
+	always @(posedge clk) begin
+		for (i = 0; i < 4; i = i + 1) q[i] <= d[i];
+		scratch <= d;
+	end
+	always @(posedge clk) begin
+		for (i = 4; i < 8; i = i + 1) q[i] <= d[i];
+	end
+endmodule
