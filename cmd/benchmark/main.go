@@ -13,6 +13,7 @@
 //	benchmark -exp table1 -json      # machine-readable results on stdout
 //	benchmark -state-dir ./state             # journal per-job results
 //	benchmark -state-dir ./state -resume     # skip completed jobs
+//	benchmark -exp table1 -stages            # stage latency table on stderr
 //
 // With -state-dir, every completed agent job is journaled durably
 // (internal/store); after a crash or kill, -resume restores those
@@ -45,6 +46,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/memo"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -57,7 +59,25 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON on stdout (tables move to stderr)")
 	stateDir := flag.String("state-dir", "", "durable state directory: journal per-job results for -resume")
 	resume := flag.Bool("resume", false, "skip jobs already completed in -state-dir's journal (tables stay byte-identical)")
+	stages := flag.Bool("stages", false, "trace every agent job and print a per-stage latency table to stderr at exit")
 	flag.Parse()
+
+	// Stage attribution rides the same trace layer the daemon uses: a
+	// collector on the bench pipeline seam, folded per span name. The
+	// table goes to stderr with the cache counters — stdout tables stay
+	// byte-identical with or without -stages.
+	var stageAgg *trace.StageAgg
+	if *stages {
+		stageAgg = trace.NewStageAgg()
+		tracer := trace.NewCollector(1, 0, 0)
+		tracer.SetOnFinish(stageAgg.Observe)
+		bench.SetTracer(tracer)
+		defer func() {
+			if table := trace.RenderStageTable(stageAgg.Snapshot()); table != "" {
+				fmt.Fprint(os.Stderr, table)
+			}
+		}()
+	}
 
 	if *resume && *stateDir == "" {
 		fmt.Fprintln(os.Stderr, "benchmark: -resume requires -state-dir")

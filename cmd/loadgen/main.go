@@ -22,6 +22,11 @@
 // (internal/curate), cycled round-robin over -distinct problems. Exit
 // status is non-zero when any request fails at the transport level or no
 // request succeeds — so CI smoke jobs can assert on it.
+//
+// -progress-interval prints an in-flight tally line to stderr while the
+// run is hot; -stages fetches /v1/stats afterwards and renders the
+// server's per-stage latency attribution table (requires the daemon to
+// run with tracing on, its default).
 package main
 
 import (
@@ -39,6 +44,7 @@ import (
 
 	"repro/internal/curate"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -54,6 +60,8 @@ func main() {
 	timeoutMS := flag.Int64("timeout-ms", 0, "per-request deadline sent to the server (0 = server default)")
 	lint := flag.Bool("lint", false, "drive /v1/lint instead of /v1/fix")
 	showStats := flag.Bool("show-stats", false, "fetch and print /v1/stats after the run")
+	showStages := flag.Bool("stages", false, "fetch /v1/stats after the run and print the per-stage latency table (needs rtlfixerd -trace)")
+	progressInterval := flag.Duration("progress-interval", 0, "print an in-flight progress line to stderr this often (0 = off)")
 	flag.Parse()
 
 	if (*n <= 0 && *duration <= 0) || *concurrency <= 0 || *distinct <= 0 {
@@ -153,6 +161,30 @@ func main() {
 	statusCounts := map[int]int{}
 	sent, transportErrs, fixed := 0, 0, 0
 	start := time.Now()
+
+	// Periodic in-flight progress on stderr (stdout stays a parseable
+	// report): sent/served/error tallies and the running served rate.
+	progressDone := make(chan struct{})
+	if *progressInterval > 0 {
+		go func() {
+			tick := time.NewTicker(*progressInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-progressDone:
+					return
+				case <-tick.C:
+					tallyMu.Lock()
+					sentNow, servedNow, errsNow := sent, statusCounts[http.StatusOK], transportErrs
+					tallyMu.Unlock()
+					el := time.Since(start)
+					fmt.Fprintf(os.Stderr, "loadgen: [%v] sent=%d served=%d errors=%d (%.1f served/s)\n",
+						el.Round(time.Second), sentNow, servedNow, errsNow,
+						float64(servedNow)/el.Seconds())
+				}
+			}
+		}()
+	}
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
 		go func() {
@@ -199,6 +231,7 @@ func main() {
 		}()
 	}
 	wg.Wait()
+	close(progressDone)
 	elapsed := time.Since(start)
 
 	// Throughput counts served (200) responses only: a daemon shedding
@@ -233,7 +266,7 @@ func main() {
 			(f.Sum/float64(f.Count))/(rest.Sum/float64(rest.Count)))
 	}
 
-	if *showStats {
+	if *showStats || *showStages {
 		resp, err := client.Get(*addr + "/v1/stats")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: stats: %v\n", err)
@@ -241,11 +274,29 @@ func main() {
 		}
 		data, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		var pretty bytes.Buffer
-		if json.Indent(&pretty, data, "", "  ") == nil {
-			fmt.Printf("loadgen: /v1/stats:\n%s\n", pretty.Bytes())
-		} else {
-			fmt.Printf("loadgen: /v1/stats: %s\n", data)
+		if *showStats {
+			var pretty bytes.Buffer
+			if json.Indent(&pretty, data, "", "  ") == nil {
+				fmt.Printf("loadgen: /v1/stats:\n%s\n", pretty.Bytes())
+			} else {
+				fmt.Printf("loadgen: /v1/stats: %s\n", data)
+			}
+		}
+		if *showStages {
+			// The server-side stage attribution: span durations folded per
+			// stage from finished request traces (rtlfixerd -trace).
+			var wire struct {
+				Stages map[string]metrics.HistogramSnapshot `json:"stages"`
+			}
+			if err := json.Unmarshal(data, &wire); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: stats decode: %v\n", err)
+				os.Exit(1)
+			}
+			if table := trace.RenderStageTable(wire.Stages); table != "" {
+				fmt.Print(table)
+			} else {
+				fmt.Fprintln(os.Stderr, "loadgen: no stage data (is rtlfixerd running with -trace?)")
+			}
 		}
 	}
 

@@ -11,6 +11,13 @@
 //	rtlfixerd -max-inflight 8 -queue 32  # size admission control
 //	rtlfixerd -coalesce=false -cache=false   # A/B baseline for loadgen
 //	rtlfixerd -state-dir ./state         # durable caches: warm restart
+//	rtlfixerd -pprof -log-requests       # profiler + structured access log
+//	rtlfixerd -trace=false               # disable request tracing
+//
+// Tracing is on by default: every request carries a span tree
+// (admission → queue → run → agent iterations → compile/rag/llm → sim)
+// retrievable at GET /v1/trace/{id}; GET /metrics serves Prometheus
+// text exposition; -pprof mounts net/http/pprof under /debug/pprof/.
 //
 // With -state-dir, compile results and the retrieval index persist in a
 // content-addressed store (internal/store): a restarted daemon loads them
@@ -33,8 +40,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -43,6 +52,7 @@ import (
 
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -59,6 +69,12 @@ func main() {
 	cache := flag.Bool("cache", true, "enable the sharded memoization layer")
 	stateDir := flag.String("state-dir", "", "durable state directory: caches persist across restarts (warm start)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain may take")
+	tracing := flag.Bool("trace", true, "collect per-request span traces (GET /v1/trace)")
+	traceRing := flag.Int("trace-ring", 0, "recent traces retained for /v1/trace (0 = default 256)")
+	traceSlow := flag.Duration("trace-slow", 0, "retain traces slower than this past ring eviction (0 = default 500ms)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	logRequests := flag.Bool("log-requests", false, "write one structured access-log line per request to stderr")
+	simCheck := flag.Bool("sim-check", true, "simulate each fixed design for one clock cycle (stats + traces only)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "rtlfixerd: ", log.LstdFlags)
@@ -79,6 +95,14 @@ func main() {
 	if qd == 0 {
 		qd = -1 // server.Config: <0 means zero queue, 0 means default
 	}
+	var tracer *trace.Collector
+	if *tracing {
+		tracer = trace.NewCollector(*traceRing, 0, *traceSlow)
+	}
+	var accessLog *slog.Logger
+	if *logRequests {
+		accessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	srv := server.New(server.Config{
 		Seed:            *seed,
 		MaxInFlight:     *maxInFlight,
@@ -90,9 +114,27 @@ func main() {
 		MaxTimeout:      *maxTimeout,
 		DisableCoalesce: !*coalesce,
 		DisableCache:    !*cache,
+		DisableSimCheck: !*simCheck,
 		Store:           st,
 		Logf:            logger.Printf,
+		Tracing:         tracer,
+		AccessLog:       accessLog,
 	})
+
+	// The served handler is the server itself unless pprof is on, in
+	// which case an outer mux mounts the profiler explicitly — pprof's
+	// side-effect registration on http.DefaultServeMux is never served.
+	var handler http.Handler = srv
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", srv)
+		handler = outer
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -104,10 +146,10 @@ func main() {
 	if st != nil {
 		state = fmt.Sprintf("%s (%d records)", st.Dir(), st.Stats().Records)
 	}
-	logger.Printf("serving (inflight=%d queue=%d batch<=%d linger=%v coalesce=%v cache=%v state=%s)",
-		*maxInFlight, *queueDepth, *maxBatch, *linger, *coalesce, *cache, state)
+	logger.Printf("serving (inflight=%d queue=%d batch<=%d linger=%v coalesce=%v cache=%v state=%s trace=%v pprof=%v)",
+		*maxInFlight, *queueDepth, *maxBatch, *linger, *coalesce, *cache, state, *tracing, *pprofOn)
 
-	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	httpSrv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/fixer"
 	"repro/internal/llm"
 	"repro/internal/rag"
+	"repro/internal/trace"
 )
 
 // DefaultMaxIterations is the paper's ReAct budget: "we restrict the LLM
@@ -109,6 +110,11 @@ type Config struct {
 	// are appended to every compile observation the model sees. The zero
 	// value keeps it on.
 	DisableAnalyzer bool
+	// Span, when non-nil, is the parent trace span under which the loop
+	// records its stage children (iteration, compile, rag, llm). Nil
+	// disables tracing: the no-op span chain keeps the loop
+	// allocation-free, and transcripts are identical either way.
+	Span *trace.Span
 }
 
 func (c Config) retriever() rag.Retriever {
@@ -130,6 +136,39 @@ func (c Config) filename() string {
 		return c.Filename
 	}
 	return "main.v"
+}
+
+// hitCompiler is the optional probe the memo layer's cached compiler
+// implements. The tracer uses it to attribute cache hits on compile
+// spans without widening the compiler.Compiler interface; a hit counts
+// in the cache statistics exactly as a Compile hit would, and a miss
+// has no side effects, so memo transparency is undisturbed.
+type hitCompiler interface {
+	CompileHit(filename, src string) (compiler.Result, bool)
+}
+
+// compileStep compiles cur under a "compile" child span of parent,
+// annotating the outcome and — when the compiler is the memo layer's
+// cached wrapper — whether the result was served from cache. With a nil
+// parent this is exactly cfg.Compiler.Compile: no probe, no spans, no
+// allocations.
+func compileStep(cfg Config, parent *trace.Span, cur string) compiler.Result {
+	sp := parent.Child("compile")
+	if sp == nil {
+		return cfg.Compiler.Compile(cfg.filename(), cur)
+	}
+	var res compiler.Result
+	hit := false
+	if hc, ok := cfg.Compiler.(hitCompiler); ok {
+		res, hit = hc.CompileHit(cfg.filename(), cur)
+		sp.SetBool("cache_hit", hit)
+	}
+	if !hit {
+		res = cfg.Compiler.Compile(cfg.filename(), cur)
+	}
+	sp.SetBool("ok", res.Ok)
+	sp.End()
+	return res
 }
 
 // preclean runs the deterministic rule-based fixer, which the paper
@@ -166,7 +205,7 @@ func RunOneShot(cfg Config, code string) *Transcript {
 	cur := preclean(code, t)
 
 	t.add(StepAction, "Compiler", "submitting the candidate code")
-	res := cfg.Compiler.Compile(cfg.filename(), cur)
+	res := compileStep(cfg, cfg.Span, cur)
 	if res.Ok {
 		t.add(StepObservation, "", res.Log)
 		t.Success = true
@@ -181,11 +220,15 @@ func RunOneShot(cfg Config, code string) *Transcript {
 	if cfg.DB != nil && cfg.Compiler.InfoScore() > 0 {
 		// Retrieval keys on the raw compiler log: lint lines carry no
 		// error tags and would only dilute fuzzy matching.
+		rs := cfg.Span.Child("rag")
 		guidance = cfg.retriever().Retrieve(cfg.DB, res.Log, 4)
+		rs.SetInt("entries", int64(len(guidance)))
+		rs.End()
 		t.add(StepAction, "RAG", "retrieving guidance for the compiler log")
 		t.add(StepObservation, "", rag.Render(guidance))
 	}
 
+	ls := cfg.Span.Child("llm")
 	rep := cfg.Model.Repair(llm.RepairRequest{
 		Code:       cur,
 		Feedback:   obs,
@@ -194,11 +237,12 @@ func RunOneShot(cfg Config, code string) *Transcript {
 		SampleSeed: cfg.SampleSeed,
 		Iteration:  0,
 	})
+	ls.End()
 	t.Iterations = 1
 	cur = preclean(rep.Code, t)
 	t.add(StepAction, "Revise", strings.Join(rep.Notes, "; "))
 
-	final := cfg.Compiler.Compile(cfg.filename(), cur)
+	final := compileStep(cfg, cfg.Span, cur)
 	t.add(StepAction, "Compiler", "submitting the revised code")
 	t.add(StepObservation, "", final.Log)
 	t.Success = final.Ok
@@ -213,7 +257,7 @@ func RunReAct(cfg Config, code string) *Transcript {
 	t := &Transcript{}
 	cur := preclean(code, t)
 
-	res := cfg.Compiler.Compile(cfg.filename(), cur)
+	res := compileStep(cfg, cfg.Span, cur)
 	t.add(StepAction, "Compiler", "submitting the candidate code")
 	if res.Ok {
 		t.add(StepObservation, "", res.Log)
@@ -226,17 +270,23 @@ func RunReAct(cfg Config, code string) *Transcript {
 	t.add(StepObservation, "", obs)
 
 	for iter := 1; iter <= cfg.maxIters(); iter++ {
+		it := cfg.Span.Child("iteration")
+		it.SetInt("n", int64(iter))
 		hyps := llm.AnalyzeLog(res.Log)
 		t.add(StepThought, "", llm.Thought(res.Log, hyps))
 
 		var guidance []rag.Entry
 		if cfg.DB != nil && cfg.Compiler.InfoScore() > 0 {
 			// Raw log only: lint lines carry no retrievable error tags.
+			rs := it.Child("rag")
 			guidance = cfg.retriever().Retrieve(cfg.DB, res.Log, 4)
+			rs.SetInt("entries", int64(len(guidance)))
+			rs.End()
 			t.add(StepAction, "RAG", firstLogLine(res.Log))
 			t.add(StepObservation, "", rag.Render(guidance))
 		}
 
+		ls := it.Child("llm")
 		rep := cfg.Model.Repair(llm.RepairRequest{
 			Code:       cur,
 			Feedback:   obs,
@@ -245,21 +295,24 @@ func RunReAct(cfg Config, code string) *Transcript {
 			SampleSeed: cfg.SampleSeed,
 			Iteration:  iter,
 		})
+		ls.End()
 		t.Iterations = iter
 		cur = preclean(rep.Code, t)
 		t.add(StepAction, "Revise", strings.Join(rep.Notes, "; "))
 
-		res = cfg.Compiler.Compile(cfg.filename(), cur)
+		res = compileStep(cfg, it, cur)
 		t.add(StepAction, "Compiler", "submitting the revised code")
 		if res.Ok {
 			t.add(StepObservation, "", res.Log)
 			t.Success = true
 			t.FinalCode = cur
 			t.add(StepAction, "Finish", "the revised code compiles cleanly")
+			it.End()
 			return t
 		}
 		obs = observe(cfg, cur, res, t)
 		t.add(StepObservation, "", obs)
+		it.End()
 	}
 	t.FinalCode = cur
 	t.add(StepAction, "Finish", "iteration budget exhausted; returning the best attempt")

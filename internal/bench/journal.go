@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // journal is the package-wide pipeline journal (nil = journaling off).
@@ -29,8 +30,20 @@ var journal pipeline.Journal
 // resumes from. Pass nil to disable. Call before running experiments.
 func SetJournal(j pipeline.Journal) { journal = j }
 
-// runJobs funnels every bench pipeline run through the package journal.
+// tracer is the package-wide trace collector (nil = tracing off). Set
+// once by SetTracer before any experiment runs.
+var tracer *trace.Collector
+
+// SetTracer installs a trace collector on every bench pipeline run, so
+// each agent job records a stage-level span tree (cmd/benchmark's
+// -stages breakdown). Pass nil to disable — the default, which keeps
+// experiment hot paths allocation-free and table output untouched.
+func SetTracer(c *trace.Collector) { tracer = c }
+
+// runJobs funnels every bench pipeline run through the package journal
+// and tracer.
 func runJobs(ctx context.Context, label string, cfg pipeline.Config, jobs []pipeline.Job, fn pipeline.FixFunc) ([]pipeline.Result, error) {
+	cfg.Tracer = tracer
 	return pipeline.RunJournaled(ctx, cfg, label, jobs, fn, journal)
 }
 

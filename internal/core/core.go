@@ -16,6 +16,7 @@ import (
 	"repro/internal/memo"
 	"repro/internal/rag"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Mode selects the prompting scheme.
@@ -196,6 +197,14 @@ func (f *RTLFixer) Database() *rag.Database { return f.db }
 // same instance behaves consistently across retries, as a real model's
 // systematic weaknesses do.
 func (f *RTLFixer) Fix(filename, code string, sampleSeed int64) *agent.Transcript {
+	return f.FixTraced(filename, code, sampleSeed, nil)
+}
+
+// FixTraced is Fix with a parent trace span: the loop's stage children
+// (iteration, compile, rag, llm) attach under sp. A nil sp is exactly
+// Fix — the no-op span chain adds no allocations — and the transcript
+// is byte-identical either way.
+func (f *RTLFixer) FixTraced(filename, code string, sampleSeed int64, sp *trace.Span) *agent.Transcript {
 	cfg := agent.Config{
 		Compiler:        f.compiler,
 		Model:           llm.NewModel(f.persona, f.opts.Seed^sampleSeed),
@@ -205,6 +214,7 @@ func (f *RTLFixer) Fix(filename, code string, sampleSeed int64) *agent.Transcrip
 		Filename:        filename,
 		SampleSeed:      sampleSeed,
 		DisableAnalyzer: f.opts.DisableAnalyzer,
+		Span:            sp,
 	}
 	if f.opts.Mode == ModeOneShot {
 		return agent.RunOneShot(cfg, code)

@@ -261,6 +261,30 @@ func (cc *CompileCache) get(key compileKey, src string) (compiler.Result, bool) 
 	return compiler.Result{}, false
 }
 
+// peek is get without the miss accounting: a present entry counts as a
+// hit (exactly as get would count it), an absent one counts nothing and
+// touches nothing, so a caller probing before a full Compile leaves the
+// hit/miss statistics identical to an unprobed Compile.
+func (cc *CompileCache) peek(key compileKey, src string) (compiler.Result, bool) {
+	s := cc.shardFor(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	s.mu.Unlock()
+	if ok && e.src == src {
+		cc.c.hits.Add(1)
+		globalCompile.hits.Add(1)
+		return e.res, true
+	}
+	if cc.backing != nil {
+		if res, ok := cc.backingGet(key, src); ok {
+			cc.c.hits.Add(1)
+			globalCompile.hits.Add(1)
+			return res, true
+		}
+	}
+	return compiler.Result{}, false
+}
+
 // put stores a result, displacing the oldest entry in the shard when the
 // shard is full (FIFO: deterministic and cheap; a displaced entry is
 // simply recomputed on its next miss).
@@ -316,6 +340,18 @@ func (c *cachedCompiler) Name() string { return c.inner.Name() }
 
 // InfoScore implements compiler.Compiler.
 func (c *cachedCompiler) InfoScore() float64 { return c.inner.InfoScore() }
+
+// CompileHit reports whether (filename, src) is already cached — in
+// memory or the durable backing — returning the cached result when so.
+// A hit is accounted exactly as a Compile hit; a miss has no side
+// effects, and callers fall through to Compile for the full miss path.
+// The tracing layer probes this (via a structural interface) to
+// attribute cache hits on compile spans without widening
+// compiler.Compiler.
+func (c *cachedCompiler) CompileHit(filename, src string) (compiler.Result, bool) {
+	key := compileKey{persona: c.inner.Name(), filename: filename, srcHash: HashSource(src)}
+	return c.cache.peek(key, src)
+}
 
 // Compile implements compiler.Compiler.
 func (c *cachedCompiler) Compile(filename, src string) compiler.Result {

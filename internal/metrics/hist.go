@@ -7,8 +7,10 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -191,6 +193,38 @@ func (b Bucket) MarshalJSON() ([]byte, error) {
 		return []byte(fmt.Sprintf(`{"le":"+Inf","count":%d}`, b.Count)), nil
 	}
 	return []byte(fmt.Sprintf(`{"le":%g,"count":%d}`, b.UpperBound, b.Count)), nil
+}
+
+// UnmarshalJSON is MarshalJSON's inverse, accepting both the numeric
+// edges and the "+Inf" overflow spelling — so snapshot consumers
+// (loadgen's stage-breakdown table reads them from /v1/stats) can decode
+// what the server serves.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var wire struct {
+		LE    any    `json:"le"`
+		Count uint64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	b.Count = wire.Count
+	switch le := wire.LE.(type) {
+	case float64:
+		b.UpperBound = le
+	case string:
+		if le == "+Inf" {
+			b.UpperBound = math.Inf(1)
+			return nil
+		}
+		v, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("metrics: bucket edge %q: %w", le, err)
+		}
+		b.UpperBound = v
+	default:
+		return fmt.Errorf("metrics: bucket edge has type %T", wire.LE)
+	}
+	return nil
 }
 
 // HistogramSnapshot is a consistent point-in-time copy, shaped for JSON

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/trace"
 )
 
 // Job is one unit of work: a single erroneous source to run through the
@@ -56,10 +57,34 @@ type Fixer interface {
 	Fix(filename, code string, sampleSeed int64) *agent.Transcript
 }
 
+// TracedFixer is the optional extension a Fixer can implement to accept
+// a parent trace span (core.RTLFixer does, via FixTraced). FixWith uses
+// it when the job's context carries a span — i.e. when Config.Tracer is
+// set — so the agent's stage children land under the job trace.
+type TracedFixer interface {
+	FixTraced(filename, code string, sampleSeed int64, sp *trace.Span) *agent.Transcript
+}
+
 // FixWith adapts a Fixer into a FixFunc — the standard way to submit
-// agent runs to the pool.
+// agent runs to the pool. When the fixer is also a TracedFixer and the
+// context carries a span, the run is recorded under an "agent" child;
+// otherwise the plain Fix path runs, identically to before tracing
+// existed.
 func FixWith(f Fixer) FixFunc {
-	return func(_ context.Context, j Job) *agent.Transcript {
+	tf, traced := f.(TracedFixer)
+	return func(ctx context.Context, j Job) *agent.Transcript {
+		if traced {
+			if sp := trace.FromContext(ctx); sp != nil {
+				ag := sp.Child("agent")
+				tr := tf.FixTraced(j.Filename, j.Code, j.SampleSeed, ag)
+				if tr != nil {
+					ag.SetBool("success", tr.Success)
+					ag.SetInt("iterations", int64(tr.Iterations))
+				}
+				ag.End()
+				return tr
+			}
+		}
 		return f.Fix(j.Filename, j.Code, j.SampleSeed)
 	}
 }
@@ -97,6 +122,14 @@ type Config struct {
 	// reported too, with Err set. The result slice Run returns is
 	// unaffected.
 	OnResult func(Result)
+	// Tracer, when non-nil, collects one trace per job: runOne opens a
+	// root "job" span, carries it on the worker's context
+	// (trace.NewContext), and ends it when the job finishes or times
+	// out. Fix functions that understand spans (FixWith's TracedFixer
+	// path) hang their stage children off it. Nil costs nothing and
+	// changes nothing — results are byte-identical with tracing on or
+	// off.
+	Tracer *trace.Collector
 }
 
 func (c Config) workers() int {
@@ -185,6 +218,17 @@ func runOne(ctx context.Context, cfg Config, j Job, index int, fn FixFunc) Resul
 	j.Index = index
 	if err := ctx.Err(); err != nil {
 		return Result{Job: j, Err: err}
+	}
+	if cfg.Tracer != nil {
+		root := cfg.Tracer.Start("job")
+		root.SetStr("filename", j.Filename)
+		root.SetInt("index", int64(index))
+		root.SetInt("group", int64(j.Group))
+		root.SetInt("seed", j.SampleSeed)
+		ctx = trace.NewContext(ctx, root)
+		// On timeout the abandoned goroutine may still append children
+		// after the root ends; the trace layer tolerates late arrivals.
+		defer root.End()
 	}
 	start := time.Now()
 	if cfg.JobTimeout <= 0 {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/memo"
+	"repro/internal/trace"
 )
 
 // synthFix is a deterministic pure function of the job, mimicking the
@@ -454,5 +455,68 @@ func TestOnResultReportsCanceledJobs(t *testing.T) {
 	}
 	if canceled.Load() == 0 {
 		t.Fatal("no canceled jobs reached OnResult")
+	}
+}
+
+// TestTracerCollectsJobTraces runs the real fixer with a collector
+// attached and checks (a) every job produced a trace rooted at "job"
+// with an "agent" child carrying compile spans, and (b) transcripts are
+// byte-identical to an untraced run — tracing must be a pure observer.
+func TestTracerCollectsJobTraces(t *testing.T) {
+	fixer, err := core.New(core.Options{
+		CompilerName: "quartus", RAG: true, Cache: true, Mode: core.ModeReAct, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const buggy = `module top_module (
+	input [3:0] a,
+	output reg [3:0] out
+);
+	always @(posedge clk) begin
+		out <= a
+	end
+endmodule
+`
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		jobs[i] = Job{Group: i, Filename: "main.v", Code: buggy, SampleSeed: int64(i) * 31}
+	}
+	plain, err := Run(context.Background(), Config{Workers: 2}, jobs, FixWith(fixer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := trace.NewCollector(16, 0, time.Hour)
+	traced, err := Run(context.Background(), Config{Workers: 2, Tracer: c}, jobs, FixWith(fixer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i].Transcript.FinalCode != traced[i].Transcript.FinalCode ||
+			plain[i].Transcript.Success != traced[i].Transcript.Success {
+			t.Fatalf("job %d output changed under tracing", i)
+		}
+	}
+	sums := c.Summaries(0)
+	if len(sums) != len(jobs) {
+		t.Fatalf("collected %d traces, want %d", len(sums), len(jobs))
+	}
+	for _, s := range sums {
+		tr, ok := c.Get(s.ID)
+		if !ok {
+			t.Fatalf("trace %s not retrievable", s.ID)
+		}
+		j := tr.JSON()
+		if j.Root.Name != "job" {
+			t.Fatalf("root span = %q, want job", j.Root.Name)
+		}
+		stages := map[string]int{}
+		tr.Walk(func(name string, _ time.Duration, ended bool) {
+			if ended {
+				stages[name]++
+			}
+		})
+		if stages["agent"] != 1 || stages["compile"] == 0 {
+			t.Fatalf("trace %s missing agent/compile spans: %v", s.ID, stages)
+		}
 	}
 }

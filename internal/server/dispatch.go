@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/memo"
 	"repro/internal/pipeline"
+	"repro/internal/trace"
 )
 
 // Admission failures, mapped to HTTP statuses by the fix handler.
@@ -65,6 +66,14 @@ type flight struct {
 	waiters []context.Context
 	done    chan struct{}
 
+	// root is the leader's request trace span (nil with tracing off or
+	// for FNV-collision flights); queueSpan covers admission → run-slot
+	// acquisition. Only the leader's trace carries the run: coalesced
+	// followers' traces record their own admission and wait, and the
+	// shared agent work appears once, under the request that started it.
+	root      *trace.Span
+	queueSpan *trace.Span
+
 	// Outcome, valid after done is closed.
 	tr      *agent.Transcript
 	elapsed time.Duration
@@ -75,7 +84,7 @@ type flight struct {
 // possible, otherwise admits a new flight. The returned bool is true for
 // a coalesced follower. Lock order: flightsMu, then admitMu (read side);
 // nothing acquires them the other way around.
-func (s *Server) joinOrLead(ctx context.Context, req *fixRequest, fixer *core.RTLFixer) (*flight, bool, error) {
+func (s *Server) joinOrLead(ctx context.Context, req *fixRequest, fixer *core.RTLFixer, root *trace.Span) (*flight, bool, error) {
 	key := flightKey{cfg: req.key(), filename: req.Filename, srcHash: memo.HashSource(req.Source), seed: req.seed()}
 
 	s.flightsMu.Lock()
@@ -93,6 +102,7 @@ func (s *Server) joinOrLead(ctx context.Context, req *fixRequest, fixer *core.RT
 		seed:     req.seed(),
 		waiters:  []context.Context{ctx},
 		done:     make(chan struct{}),
+		root:     root,
 	}
 	if err := s.admitLocked(f); err != nil {
 		return nil, false, err
@@ -122,6 +132,10 @@ func (s *Server) admitLocked(f *flight) error {
 	}
 	s.flightWG.Add(1)
 	s.st.queueDepth.Inc()
+	// The queue span opens the moment admission is charged and closes
+	// when the run slot is acquired (or the flight dies first), so its
+	// duration is exactly the time the request read as "queued".
+	f.queueSpan = f.root.Child("queue")
 	s.queue <- f // capacity == admission limit: never blocks
 	return nil
 }
@@ -194,6 +208,8 @@ func (s *Server) runBatch(batch []*flight) {
 			// Skip the work; finish delivers tr == nil.
 			s.st.queueDepth.Dec()
 			s.st.expiredBeforeRun.Inc()
+			f.queueSpan.SetStr("outcome", "expired")
+			f.queueSpan.End()
 			return nil
 		}
 		// Concurrent batches share the MaxInFlight run slots; waiting
@@ -206,21 +222,37 @@ func (s *Server) runBatch(batch []*flight) {
 			// err on a pipeline-level cancellation.
 			s.st.queueDepth.Dec()
 			f.err = errShutdown
+			f.queueSpan.SetStr("outcome", "shutdown")
+			f.queueSpan.End()
 			return nil
 		}
 		defer func() { <-s.runSlots }()
 		s.st.queueDepth.Dec()
 		if !s.flightAliveOrRetire(f) {
 			s.st.expiredBeforeRun.Inc()
+			f.queueSpan.SetStr("outcome", "expired")
+			f.queueSpan.End()
 			return nil
 		}
+		f.queueSpan.End()
 		if s.testHook != nil {
 			s.testHook(f)
 		}
 		s.st.inFlight.Inc()
 		defer s.st.inFlight.Dec()
 		s.st.agentRuns.Inc()
-		return f.fixer.Fix(f.filename, f.source, f.seed)
+		run := f.root.Child("run")
+		run.SetInt("batch_size", int64(len(batch)))
+		ag := run.Child("agent")
+		tr := f.fixer.FixTraced(f.filename, f.source, f.seed, ag)
+		if tr != nil {
+			ag.SetBool("success", tr.Success)
+			ag.SetInt("iterations", int64(tr.Iterations))
+		}
+		ag.End()
+		s.simCheck(tr, run)
+		run.End()
+		return tr
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

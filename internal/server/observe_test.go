@@ -1,0 +1,282 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// TestFixRequestTraceTree is the acceptance gate: a real /v1/fix run
+// with tracing on must yield a retrievable span tree covering
+// admission → queue → run → agent iterations → compile, plus the
+// post-fix sim check, under a "fix" root.
+func TestFixRequestTraceTree(t *testing.T) {
+	c := trace.NewCollector(0, 0, 0)
+	_, ts := newTestServer(t, Config{Tracing: c})
+	status, out := postFix(t, ts.URL, map[string]any{"source": brokenSource})
+	if status != http.StatusOK || out["success"] != true {
+		t.Fatalf("fix failed: %d %v", status, out)
+	}
+
+	resp, raw := get(t, ts.URL+"/v1/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace list status = %d", resp.StatusCode)
+	}
+	var list traceListResponse
+	if err := json.Unmarshal(raw, &list); err != nil {
+		t.Fatalf("trace list: %v\n%s", err, raw)
+	}
+	if !list.Enabled || len(list.Traces) == 0 {
+		t.Fatalf("no traces listed: %+v", list)
+	}
+	var fixID string
+	for _, s := range list.Traces {
+		if s.Root == "fix" {
+			fixID = s.ID
+			break
+		}
+	}
+	if fixID == "" {
+		t.Fatalf("no fix trace among %+v", list.Traces)
+	}
+
+	resp, raw = get(t, ts.URL+"/v1/trace/"+fixID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace get status = %d: %s", resp.StatusCode, raw)
+	}
+	var tree trace.TraceJSON
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		t.Fatalf("trace tree: %v", err)
+	}
+	if tree.Root.Name != "fix" {
+		t.Fatalf("root = %q, want fix", tree.Root.Name)
+	}
+	counts := map[string]int{}
+	var walk func(sp trace.SpanJSON)
+	walk = func(sp trace.SpanJSON) {
+		counts[sp.Name]++
+		for _, ch := range sp.Children {
+			walk(ch)
+		}
+	}
+	walk(tree.Root)
+	for _, stage := range []string{"admission", "queue", "wait", "run", "agent", "iteration", "compile", "sim"} {
+		if counts[stage] == 0 {
+			t.Fatalf("trace missing %q span; got %v", stage, counts)
+		}
+	}
+	if id, ok := tree.Root.Attrs["request_id"].(string); !ok || id == "" {
+		t.Fatalf("fix root has no request_id attr: %v", tree.Root.Attrs)
+	}
+
+	// Unknown IDs are a clean 404.
+	resp, _ = get(t, ts.URL+"/v1/trace/t-999999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing trace status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestTraceDisabled: without a collector the endpoints answer cleanly
+// and cheaply rather than 500ing.
+func TestTraceDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := get(t, ts.URL+"/v1/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace list status = %d", resp.StatusCode)
+	}
+	var list traceListResponse
+	if err := json.Unmarshal(raw, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Enabled || len(list.Traces) != 0 {
+		t.Fatalf("disabled tracing listed traces: %+v", list)
+	}
+	resp, _ = get(t, ts.URL+"/v1/trace/t-000001")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace get status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics after real traffic and checks
+// the exposition parses, carries the TYPE headers the smoke script
+// greps, and reflects the served requests.
+func TestMetricsEndpoint(t *testing.T) {
+	c := trace.NewCollector(0, 0, 0)
+	_, ts := newTestServer(t, Config{Tracing: c})
+	if status, _ := postFix(t, ts.URL, map[string]any{"source": brokenSource}); status != http.StatusOK {
+		t.Fatal("fix failed")
+	}
+
+	resp, raw := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != metrics.PromContentType {
+		t.Fatalf("content type = %q", got)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE rtlfixer_fix_requests_total counter",
+		"# TYPE rtlfixer_fix_latency_ms histogram",
+		"# TYPE rtlfixer_stage_duration_ms histogram",
+		"# TYPE rtlfixer_queue_depth gauge",
+		`rtlfixer_fix_outcomes_total{outcome="ok"} 1`,
+		"rtlfixer_fix_requests_total 1",
+		`rtlfixer_http_responses_total{code="200"}`,
+		`rtlfixer_fix_latency_ms_bucket{le="+Inf"} 1`,
+		`rtlfixer_stage_duration_ms_bucket{stage="compile",le="+Inf"}`,
+		`rtlfixer_cache_events_total{layer="compile",event="hit"}`,
+		"rtlfixer_traces_collected_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	// Every non-comment line must be "name[{labels}] value".
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.LastIndexByte(line, ' ') <= 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestRequestIDPropagation: an incoming X-Request-ID is echoed; absent
+// one, the server assigns and echoes its own, and the access log (when
+// configured) carries it.
+func TestRequestIDPropagation(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	_, ts := newTestServer(t, Config{AccessLog: logger})
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	req.Header.Set("X-Request-ID", "caller-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "caller-7" {
+		t.Fatalf("echoed id = %q, want caller-7", got)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	assigned := resp.Header.Get("X-Request-ID")
+	if !strings.HasPrefix(assigned, "r-") {
+		t.Fatalf("assigned id = %q, want r- prefix", assigned)
+	}
+
+	logs := logBuf.String()
+	for _, want := range []string{`"id":"caller-7"`, `"id":"` + assigned + `"`, `"path":"/v1/healthz"`, `"status":200`} {
+		if !strings.Contains(logs, want) {
+			t.Fatalf("access log missing %s:\n%s", want, logs)
+		}
+	}
+}
+
+// TestHealthzBuildInfoAndTrace: the health body reports build info and,
+// with tracing on, collector occupancy.
+func TestHealthzBuildInfoAndTrace(t *testing.T) {
+	c := trace.NewCollector(8, 0, time.Hour)
+	_, ts := newTestServer(t, Config{Tracing: c})
+	if status, _ := postFix(t, ts.URL, map[string]any{"source": brokenSource}); status != http.StatusOK {
+		t.Fatal("fix failed")
+	}
+	resp, raw := get(t, ts.URL+"/v1/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	build, ok := body["build"].(map[string]any)
+	if !ok || build["go"] == "" || build["module"] != "repro" {
+		t.Fatalf("bad build info: %v", body["build"])
+	}
+	tr, ok := body["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz missing trace occupancy: %v", body)
+	}
+	if tr["collected"].(float64) < 1 || tr["ring"].(float64) < 1 {
+		t.Fatalf("occupancy not reflecting the fix trace: %v", tr)
+	}
+}
+
+// TestStatsCarriesStagesAndSimCheck: /v1/stats grows the stage
+// breakdown and sim-check counters the loadgen table consumes.
+func TestStatsCarriesStagesAndSimCheck(t *testing.T) {
+	c := trace.NewCollector(0, 0, 0)
+	s, ts := newTestServer(t, Config{Tracing: c})
+	if status, _ := postFix(t, ts.URL, map[string]any{"source": brokenSource}); status != http.StatusOK {
+		t.Fatal("fix failed")
+	}
+	snap := s.Stats()
+	if snap.SimCheck.Checked != 1 {
+		t.Fatalf("sim checks = %+v, want 1 checked", snap.SimCheck)
+	}
+	if snap.SimCheck.Passed+snap.SimCheck.Failed+snap.SimCheck.Skipped != 1 {
+		t.Fatalf("sim check outcome unaccounted: %+v", snap.SimCheck)
+	}
+	if snap.Trace == nil || snap.Trace.Collected == 0 {
+		t.Fatalf("stats missing trace occupancy: %+v", snap.Trace)
+	}
+	for _, stage := range []string{"fix", "queue", "agent", "compile"} {
+		if snap.Stages[stage].Count == 0 {
+			t.Fatalf("stage %q absent from stats: %v", stage, snap.Stages)
+		}
+	}
+	// And it round-trips through the wire form loadgen reads.
+	var wire struct {
+		Stages map[string]metrics.HistogramSnapshot `json:"stages"`
+	}
+	_, raw := get(t, ts.URL+"/v1/stats")
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Stages["compile"].Count == 0 {
+		t.Fatalf("wire stages missing compile: %v", wire.Stages)
+	}
+	if table := trace.RenderStageTable(wire.Stages); !strings.Contains(table, "compile") {
+		t.Fatalf("stage table missing compile:\n%s", table)
+	}
+}
+
+// TestSimCheckDisabled: the flag removes the check entirely.
+func TestSimCheckDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{DisableSimCheck: true})
+	if status, _ := postFix(t, ts.URL, map[string]any{"source": brokenSource}); status != http.StatusOK {
+		t.Fatal("fix failed")
+	}
+	if snap := s.Stats(); snap.SimCheck.Checked != 0 {
+		t.Fatalf("disabled sim check ran: %+v", snap.SimCheck)
+	}
+}

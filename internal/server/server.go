@@ -30,16 +30,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/memo"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Config tunes the service. The zero value is usable: every field has a
@@ -87,6 +91,25 @@ type Config struct {
 	// Logf, when non-nil, receives one line per lifecycle event
 	// (start/drain) — never one per request.
 	Logf func(format string, args ...any)
+	// Tracing, when non-nil, collects one span tree per request: the
+	// whole path (admission → queue → run → agent iterations → compile/
+	// rag/llm, plus the post-fix sim check) is recorded and served at
+	// GET /v1/trace (recent list) and GET /v1/trace/{id} (full tree).
+	// Nil disables tracing: the no-op span chain keeps every hot path
+	// allocation-free and responses byte-identical.
+	Tracing *trace.Collector
+	// DisableSimCheck turns off the post-fix simulation smoke check: by
+	// default a successful fix's final code is elaborated and pulsed for
+	// one clock cycle through the shared sim cache — a cheap behavioral
+	// sanity signal (and the serving path's only exercise of the
+	// simulation engine). The response body is unchanged either way;
+	// outcomes surface in /v1/stats and on the request trace.
+	DisableSimCheck bool
+	// AccessLog, when non-nil, receives one structured record per HTTP
+	// request (request id, method, path, status, duration). Request IDs
+	// honor an incoming X-Request-ID header and are echoed back on the
+	// response either way.
+	AccessLog *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +193,17 @@ type Server struct {
 	// testHook, when non-nil, runs at the start of every agent run (test
 	// seam for blocking runs; set before serving traffic).
 	testHook func(f *flight)
+
+	// Observability plane. tracer aliases cfg.Tracing (nil = off);
+	// stages folds finished traces into per-stage latency histograms
+	// for /metrics, /v1/stats, and the loadgen breakdown table.
+	tracer *trace.Collector
+	stages *trace.StageAgg
+	// simCache backs the post-fix simulation smoke check (nil when
+	// disabled); shared across requests like the fixer pool's caches.
+	simCache *memo.SimCache
+	// reqSeq numbers requests that arrive without an X-Request-ID.
+	reqSeq atomic.Uint64
 }
 
 // New builds and starts a server (its dispatcher goroutine runs until
@@ -188,20 +222,58 @@ func New(cfg Config) *Server {
 		dispatcherDone: make(chan struct{}),
 	}
 	s.st.init()
+	s.tracer = cfg.Tracing
+	if s.tracer != nil {
+		s.stages = trace.NewStageAgg()
+		s.tracer.SetOnFinish(s.stages.Observe)
+	}
+	if !cfg.DisableSimCheck {
+		s.simCache = memo.NewSimCache(0)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/fix", s.handleFix)
 	s.mux.HandleFunc("/v1/lint", s.handleLint)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/trace", s.handleTraceList)
+	s.mux.HandleFunc("/v1/trace/", s.handleTraceGet)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	go s.dispatch()
 	return s
 }
 
-// ServeHTTP implements http.Handler, recording per-status counters.
+// requestIDKey carries the per-request ID on the request context.
+type requestIDKey struct{}
+
+// requestID returns the ID ServeHTTP assigned to this request ("" for
+// requests not routed through ServeHTTP, e.g. direct handler tests).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// ServeHTTP implements http.Handler: it assigns (or propagates) the
+// request ID, echoes it as a response header, records per-status
+// counters, and emits one structured access-log record when configured.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = fmt.Sprintf("r-%06d", s.reqSeq.Add(1))
+	}
+	w.Header().Set("X-Request-ID", id)
+	r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
 	rec := &statusRecorder{ResponseWriter: w}
 	s.mux.ServeHTTP(rec, r)
 	s.st.countStatus(rec.code())
+	if s.cfg.AccessLog != nil {
+		s.cfg.AccessLog.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.code()),
+			slog.Float64("dur_ms", msSince(started)))
+	}
 }
 
 // statusRecorder captures the response status for the stats counters.
@@ -504,12 +576,25 @@ func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	started := time.Now()
+	root := s.tracer.Start("fix")
+	defer root.End()
+	root.SetStr("request_id", requestID(r.Context()))
+
+	adm := root.Child("admission")
 	req, ok := s.decodeFixRequest(w, r)
 	if !ok {
+		adm.SetStr("outcome", "bad_request")
+		adm.End()
 		return
 	}
+	root.SetStr("filename", req.Filename)
+	root.SetStr("compiler", req.Compiler)
+	root.SetStr("mode", req.Mode)
+	root.SetInt("seed", req.seed())
 	fixer, err := s.fixerFor(req.key())
 	if err != nil {
+		adm.SetStr("outcome", "fixer_error")
+		adm.End()
 		writeFixerError(w, err)
 		return
 	}
@@ -517,28 +602,42 @@ func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req))
 	defer cancel()
 
-	f, coalesced, err := s.joinOrLead(ctx, req, fixer)
+	f, coalesced, err := s.joinOrLead(ctx, req, fixer, root)
 	if err != nil {
 		switch {
 		case errors.Is(err, errDraining):
+			adm.SetStr("outcome", "rejected_draining")
 			s.st.rejectedDraining.Inc()
 			writeError(w, http.StatusServiceUnavailable, "server is draining")
 		case errors.Is(err, errQueueFull):
+			adm.SetStr("outcome", "rejected_queue_full")
 			s.st.rejectedQueueFull.Inc()
 			writeError(w, http.StatusTooManyRequests, "admission queue full (%d in flight + %d queued)",
 				s.cfg.MaxInFlight, s.cfg.QueueDepth)
 		default:
+			adm.SetStr("outcome", "error")
 			writeError(w, http.StatusInternalServerError, "%v", err)
 		}
+		adm.End()
 		return
 	}
 	if coalesced {
+		adm.SetStr("outcome", "coalesced")
 		s.st.coalesced.Inc()
+	} else {
+		adm.SetStr("outcome", "admitted")
 	}
+	adm.End()
+	root.SetBool("coalesced", coalesced)
 
+	wait := root.Child("wait")
 	select {
 	case <-f.done:
+		wait.End()
 	case <-ctx.Done():
+		wait.SetBool("expired", true)
+		wait.End()
+		root.SetStr("outcome", "deadline_expired")
 		s.st.deadlineExpired.Inc()
 		s.st.fixLatency.Observe(msSince(started))
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %v", s.timeout(req))
@@ -548,10 +647,12 @@ func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
 	s.st.fixLatency.Observe(msSince(started))
 	switch {
 	case f.err != nil:
+		root.SetStr("outcome", "canceled")
 		writeError(w, http.StatusServiceUnavailable, "run canceled: %v", f.err)
 	case f.tr == nil:
 		// The leader's deadline expired before the run started, so the
 		// batch skipped it; this waiter raced the same fate.
+		root.SetStr("outcome", "expired_before_run")
 		s.st.deadlineExpired.Inc()
 		writeError(w, http.StatusGatewayTimeout, "coalesced run expired before starting")
 	default:
@@ -566,6 +667,8 @@ func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
 		if req.Transcript {
 			resp.Transcript = f.tr.Render()
 		}
+		root.SetStr("outcome", "ok")
+		root.SetBool("success", f.tr.Success)
 		if f.tr.Success {
 			s.st.fixOK.Inc()
 		} else {
@@ -589,12 +692,20 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	root := s.tracer.Start("lint")
+	root.SetStr("request_id", requestID(r.Context()))
+	root.SetStr("filename", req.Filename)
+	defer root.End()
 	fixer, err := s.fixerFor(req.key())
 	if err != nil {
 		writeFixerError(w, err)
 		return
 	}
+	cs := root.Child("compile")
 	res := fixer.Lint(req.Filename, req.Source)
+	cs.SetBool("ok", res.Ok)
+	cs.End()
+	root.SetBool("ok", res.Ok)
 	resp := lintResponse{Ok: res.Ok, Log: res.Log, Findings: []lintFinding{}}
 	for _, d := range res.Diags {
 		if d.Severity == diag.SeverityError {
@@ -632,6 +743,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// Brief, not Stats: healthz is polled, and the full snapshot
 		// walks the whole index under the store's serving mutex.
 		body["store"] = s.cfg.Store.Brief()
+	}
+	body["build"] = buildSummary()
+	if s.tracer != nil {
+		body["trace"] = s.tracer.Occupancy()
 	}
 	if s.isDraining() {
 		body["status"] = "draining"

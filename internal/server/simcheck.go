@@ -1,0 +1,81 @@
+// Post-fix simulation smoke check: a successful /v1/fix's final code is
+// elaborated and pulsed for one clock cycle before the response is
+// published. The serving path otherwise never exercises the simulation
+// engine — compiler personas are string-rendering frontends — so this is
+// both a cheap behavioral sanity signal ("the fixed design elaborates,
+// settles, and survives a clock edge") and the hook that gives request
+// traces their sim stage. The response body is byte-identical with the
+// check on or off; outcomes surface only in /v1/stats, /metrics, and the
+// request trace.
+package server
+
+import (
+	"strings"
+
+	"repro/internal/agent"
+	"repro/internal/sema"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// simCheck runs the smoke check for one finished agent run, recording
+// the outcome under a "sim" child of parent. Sources that do not
+// elaborate (the personas accept code the stricter sim frontend
+// rejects) are counted as skipped, not failed. The shared SimCache
+// means a coalesced-or-repeated source pays frontend+compile once.
+func (s *Server) simCheck(tr *agent.Transcript, parent *trace.Span) {
+	if s.simCache == nil || tr == nil || !tr.Success {
+		return
+	}
+	sp := parent.Child("sim")
+	defer sp.End()
+	s.st.simChecks.Inc()
+
+	prog, design, _ := s.simCache.Program(tr.FinalCode)
+	var sm *sim.Simulator
+	switch {
+	case prog != nil:
+		sm = sim.NewFromProgram(prog)
+	case design != nil:
+		// The compiled engine fell back; the walker is the reference
+		// interpreter and accepts a superset of designs.
+		var err error
+		sm, err = sim.NewWith(design, sim.EngineWalker)
+		if err != nil {
+			sp.SetStr("result", "not_simulable")
+			s.st.simSkipped.Inc()
+			return
+		}
+	default:
+		sp.SetStr("result", "not_elaborable")
+		s.st.simSkipped.Inc()
+		return
+	}
+
+	if err := sm.Settle(); err != nil {
+		sp.SetStr("result", "settle_error")
+		s.st.simFailed.Inc()
+		return
+	}
+	if clk := clockInput(sm.Design()); clk != "" {
+		sp.SetStr("clock", clk)
+		if err := sm.ClockPulse(clk); err != nil {
+			sp.SetStr("result", "clock_error")
+			s.st.simFailed.Inc()
+			return
+		}
+	}
+	sp.SetStr("result", "ok")
+	s.st.simPassed.Inc()
+}
+
+// clockInput finds the design's clock-looking input port, if any.
+func clockInput(d *sema.Design) string {
+	for _, in := range d.Inputs() {
+		switch strings.ToLower(in.Name) {
+		case "clk", "clock":
+			return in.Name
+		}
+	}
+	return ""
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // statusCodes are the statuses the service can emit; anything else lands
@@ -53,9 +54,20 @@ type serverStats struct {
 	// findingsByRule counts analyzer findings served through /v1/lint,
 	// keyed by rule code. The key set is fixed at init from the static
 	// rule registry, so the counters are lock-free; codes outside the
-	// registry land in findingsOther.
+	// registry land in findingsOther. findingRules holds the codes in
+	// registry order for stable /metrics exposition.
 	findingsByRule map[string]*metrics.Counter
+	findingRules   []string
 	findingsOther  metrics.Counter
+
+	// Post-fix simulation smoke checks (simcheck.go): attempted, and the
+	// passed/failed/skipped split. Skipped means the fixed code does not
+	// elaborate under the stricter sim frontend — expected for a subset
+	// of persona-accepted sources, not an error.
+	simChecks  metrics.Counter
+	simPassed  metrics.Counter
+	simFailed  metrics.Counter
+	simSkipped metrics.Counter
 }
 
 func (st *serverStats) init() {
@@ -68,6 +80,7 @@ func (st *serverStats) init() {
 	st.findingsByRule = make(map[string]*metrics.Counter, len(analyze.Rules()))
 	for _, r := range analyze.Rules() {
 		st.findingsByRule[r.Code] = &metrics.Counter{}
+		st.findingRules = append(st.findingRules, r.Code)
 	}
 }
 
@@ -160,6 +173,25 @@ type StatsSnapshot struct {
 		Retrieval CacheLayerStats `json:"retrieval"`
 	} `json:"cache"`
 
+	// SimCheck summarizes the post-fix simulation smoke checks (zeros
+	// when disabled).
+	SimCheck struct {
+		Checked uint64 `json:"checked"`
+		Passed  uint64 `json:"passed"`
+		Failed  uint64 `json:"failed"`
+		Skipped uint64 `json:"skipped"`
+	} `json:"sim_check"`
+
+	// Stages, present when tracing is on, is the per-stage latency
+	// breakdown folded from finished request traces — one histogram per
+	// span name (fix, queue, run, agent, iteration, compile, rag, llm,
+	// sim). loadgen -stages renders this as a table.
+	Stages map[string]metrics.HistogramSnapshot `json:"stages,omitempty"`
+
+	// Trace, present when tracing is on, is the trace collector's
+	// occupancy (ring fill, slow tier, totals).
+	Trace *trace.Occupancy `json:"trace,omitempty"`
+
 	// Store, present when the daemon runs with -state-dir, is the durable
 	// state layer's snapshot: record counts, journal size, flush lag, and
 	// load/store counters.
@@ -242,6 +274,19 @@ func (s *Server) Stats() StatsSnapshot {
 	snap.Cache.Compile = cacheLayer(byKind.Compile)
 	snap.Cache.Sim = cacheLayer(byKind.Sim)
 	snap.Cache.Retrieval = cacheLayer(byKind.Retrieval)
+
+	snap.SimCheck.Checked = st.simChecks.Value()
+	snap.SimCheck.Passed = st.simPassed.Value()
+	snap.SimCheck.Failed = st.simFailed.Value()
+	snap.SimCheck.Skipped = st.simSkipped.Value()
+
+	if s.stages != nil {
+		snap.Stages = s.stages.Snapshot()
+	}
+	if s.tracer != nil {
+		occ := s.tracer.Occupancy()
+		snap.Trace = &occ
+	}
 
 	if s.cfg.Store != nil {
 		st := s.cfg.Store.Stats()

@@ -1,0 +1,19 @@
+package trace
+
+import "context"
+
+// spanKey is the context key for span propagation through APIs that
+// already carry a context (pipeline fix functions).
+type spanKey struct{}
+
+// NewContext returns ctx carrying sp. A nil span is stored as-is;
+// FromContext then returns nil and downstream instrumentation no-ops.
+func NewContext(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}

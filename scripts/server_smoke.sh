@@ -4,7 +4,10 @@
 # SIGTERM — then restart over the same state directory and assert the
 # warm daemon serves the replayed workload from cache with byte-identical
 # responses, and finally that a corrupted journal tail recovers cleanly
-# instead of crashing the process.
+# instead of crashing the process. Along the way it exercises the
+# observability plane: /metrics must parse as Prometheus exposition with
+# nonzero request counters, /v1/trace must return a span tree covering
+# compile and sim for a served fix, and a pprof endpoint must answer.
 # Run from the repo root (CI does; locally: scripts/server_smoke.sh).
 set -euo pipefail
 
@@ -21,7 +24,7 @@ go build -o "$workdir/loadgen" ./cmd/loadgen
 
 start_daemon() { # $1: log suffix
     : >"$workdir/daemon.out"
-    "$workdir/rtlfixerd" -addr 127.0.0.1:0 -state-dir "$statedir" \
+    "$workdir/rtlfixerd" -addr 127.0.0.1:0 -state-dir "$statedir" -pprof \
         >"$workdir/daemon.out" 2>"$workdir/daemon.$1.err" &
     daemon=$!
     port=""
@@ -74,6 +77,46 @@ echo "== checking the stats the run produced"
 grep -q '"agent_runs"' "$workdir/loadgen.out" || { echo "FAIL: stats missing agent_runs" >&2; exit 1; }
 grep -q '"latency_fix_ms"' "$workdir/loadgen.out" || { echo "FAIL: stats missing latency histogram" >&2; exit 1; }
 grep -q '"store"' "$workdir/loadgen.out" || { echo "FAIL: stats missing store section" >&2; exit 1; }
+
+echo "== scraping /metrics (Prometheus exposition)"
+curl -sf "http://127.0.0.1:$port/metrics" >"$workdir/metrics.prom"
+types=$(grep -c '^# TYPE rtlfixer_' "$workdir/metrics.prom")
+if [ "$types" -lt 10 ]; then
+    echo "FAIL: only $types # TYPE lines in /metrics" >&2
+    cat "$workdir/metrics.prom" >&2
+    exit 1
+fi
+grep -Eq '^rtlfixer_fix_requests_total [1-9][0-9]*$' "$workdir/metrics.prom" || {
+    echo "FAIL: fix_requests_total missing or zero after the load run" >&2
+    grep fix_requests "$workdir/metrics.prom" >&2 || true
+    exit 1
+}
+grep -q 'rtlfixer_stage_duration_ms_bucket{stage="compile",le="+Inf"}' "$workdir/metrics.prom" || {
+    echo "FAIL: per-stage histogram missing the compile stage" >&2; exit 1; }
+echo "== /metrics ok ($types families)"
+
+echo "== fetching a request trace for a served fix"
+# Coalesced followers' traces carry only admission+wait; the leader's
+# trace (the one with the most spans) holds the shared run subtree.
+fix_trace=$(curl -sf "http://127.0.0.1:$port/v1/trace" \
+    | jq -r '.traces | map(select(.root == "fix")) | max_by(.spans) | .id')
+if [ -z "$fix_trace" ] || [ "$fix_trace" = "null" ]; then
+    echo "FAIL: no fix trace retained after the load run" >&2
+    exit 1
+fi
+spans=$(curl -sf "http://127.0.0.1:$port/v1/trace/$fix_trace" \
+    | jq -r '[.root | recurse(.children[]?) | .name] | join(" ")')
+echo "== trace $fix_trace spans: $spans"
+for stage in fix run agent compile sim; do
+    case " $spans " in
+    *" $stage "*) ;;
+    *) echo "FAIL: trace $fix_trace missing a $stage span ($spans)" >&2; exit 1 ;;
+    esac
+done
+
+echo "== hitting a pprof endpoint"
+curl -sf "http://127.0.0.1:$port/debug/pprof/cmdline" >/dev/null || {
+    echo "FAIL: pprof endpoint not serving" >&2; exit 1; }
 
 echo "== sending SIGTERM and waiting for graceful drain + state flush"
 stop_daemon cold
@@ -129,4 +172,4 @@ cmp -s "$workdir/fix.cold.json" "$workdir/fix.recovered.json" || {
     echo "FAIL: post-recovery response differs" >&2; exit 1; }
 stop_daemon corrupt
 
-echo "== OK: cold serve, clean drain, warm restart (hits=$hits, byte-identical responses), torn-tail recovery"
+echo "== OK: cold serve, metrics+trace+pprof, clean drain, warm restart (hits=$hits, byte-identical responses), torn-tail recovery"
