@@ -44,6 +44,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/curate"
 	"repro/internal/dataset"
+	"repro/internal/fault"
 	"repro/internal/memo"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -60,7 +61,22 @@ func main() {
 	stateDir := flag.String("state-dir", "", "durable state directory: journal per-job results for -resume")
 	resume := flag.Bool("resume", false, "skip jobs already completed in -state-dir's journal (tables stay byte-identical)")
 	stages := flag.Bool("stages", false, "trace every agent job and print a per-stage latency table to stderr at exit")
+	faultProfile := flag.String("fault-profile", "", `chaos testing: inject faults per "point:rate[:duration];..." (internal/fault); empty keeps output byte-identical`)
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 	flag.Parse()
+
+	// Fault injection exercises the resilience plane under the offline
+	// harness: with no profile nothing is installed and every hook is a
+	// nil atomic load, so default output stays byte-identical.
+	if *faultProfile != "" {
+		reg, err := fault.Parse(*faultProfile, *faultSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchmark: fault profile: %v\n", err)
+			os.Exit(2)
+		}
+		fault.Install(reg)
+		fmt.Fprintf(os.Stderr, "benchmark: fault injection ACTIVE (seed %d): %s\n", *faultSeed, *faultProfile)
+	}
 
 	// Stage attribution rides the same trace layer the daemon uses: a
 	// collector on the bench pipeline seam, folded per span name. The

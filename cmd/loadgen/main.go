@@ -20,8 +20,17 @@
 //
 // The corpus is the paper's curated erroneous-implementation dataset
 // (internal/curate), cycled round-robin over -distinct problems. Exit
-// status is non-zero when any request fails at the transport level or no
-// request succeeds — so CI smoke jobs can assert on it.
+// status is non-zero when any request fails at the transport level, no
+// request succeeds, any response body is not valid JSON, a -chaos probe
+// is not rejected 4xx, or the -max-error-rate budget is exceeded — so CI
+// smoke and chaos jobs can assert on it.
+//
+// Resilience testing: -wait-ready polls /v1/readyz before traffic (a
+// prewarming daemon answers 503 until its default fixer is built);
+// -chaos replaces every 5th request with a deterministic malformed
+// variant the daemon must reject 4xx; -max-error-rate bounds the
+// non-2xx fraction of the real traffic — the knobs
+// scripts/chaos_smoke.sh drives against a fault-injected daemon.
 //
 // -progress-interval prints an in-flight tally line to stderr while the
 // run is hot; -stages fetches /v1/stats afterwards and renders the
@@ -62,6 +71,9 @@ func main() {
 	showStats := flag.Bool("show-stats", false, "fetch and print /v1/stats after the run")
 	showStages := flag.Bool("stages", false, "fetch /v1/stats after the run and print the per-stage latency table (needs rtlfixerd -trace)")
 	progressInterval := flag.Duration("progress-interval", 0, "print an in-flight progress line to stderr this often (0 = off)")
+	chaos := flag.Bool("chaos", false, "replace every 5th request with a deterministic malformed variant; they must all be rejected 4xx")
+	maxErrorRate := flag.Float64("max-error-rate", -1, "exit non-zero when (transport errors + non-2xx) / sent exceeds this (chaos requests excluded; <0 = off)")
+	waitReady := flag.Duration("wait-ready", 0, "poll /v1/readyz for up to this long before sending traffic (0 = off)")
 	flag.Parse()
 
 	if (*n <= 0 && *duration <= 0) || *concurrency <= 0 || *distinct <= 0 {
@@ -117,6 +129,29 @@ func main() {
 	transport := http.DefaultTransport.(*http.Transport).Clone()
 	transport.MaxIdleConnsPerHost = *concurrency
 	client := &http.Client{Timeout: clientTimeout, Transport: transport}
+
+	// Gate on readiness, not liveness: a prewarming or store-degraded
+	// daemon answers /v1/readyz 503 while /v1/healthz stays 200, and
+	// measuring against a warming daemon skews every first-N split.
+	if *waitReady > 0 {
+		deadline := time.Now().Add(*waitReady)
+		for {
+			resp, err := client.Get(*addr + "/v1/readyz")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				fmt.Fprintf(os.Stderr, "loadgen: daemon not ready after %v\n", *waitReady)
+				os.Exit(1)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
 	hist := metrics.NewLatencyHistogram()
 	// The first -split-first requests are histogrammed separately: on a
 	// cold daemon they pay the compile misses, on a warm (-state-dir
@@ -160,6 +195,11 @@ func main() {
 	var tallyMu sync.Mutex
 	statusCounts := map[int]int{}
 	sent, transportErrs, fixed := 0, 0, 0
+	// Chaos and well-formedness tallies: chaos requests are tracked apart
+	// from the real traffic (they must be rejected 4xx, and must never
+	// pollute the error rate or latency report); malformed counts any
+	// response body that is not valid JSON, chaos or not.
+	chaosSent, chaosRejected, chaosUnexpected, malformed := 0, 0, 0, 0
 	start := time.Now()
 
 	// Periodic in-flight progress on stderr (stdout stays a parseable
@@ -190,11 +230,37 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				// Every 5th index becomes a malformed probe under -chaos:
+				// deterministic in i, so two same-flag runs send the same
+				// byte sequence regardless of concurrency or timing.
+				if *chaos && i%5 == 4 {
+					resp, err := client.Post(*addr+endpoint, "application/json",
+						strings.NewReader(chaosBody(i)))
+					ok4xx, bad := false, false
+					if err == nil {
+						data, _ := io.ReadAll(resp.Body)
+						resp.Body.Close()
+						ok4xx = resp.StatusCode >= 400 && resp.StatusCode < 500
+						bad = len(data) > 0 && !json.Valid(data)
+					}
+					tallyMu.Lock()
+					chaosSent++
+					if ok4xx {
+						chaosRejected++
+					} else {
+						chaosUnexpected++
+					}
+					if bad {
+						malformed++
+					}
+					tallyMu.Unlock()
+					continue
+				}
 				began := time.Now()
 				resp, err := client.Post(*addr+endpoint, "application/json",
 					bytes.NewReader(corpus[i%*distinct].body))
 				ms := float64(time.Since(began)) / float64(time.Millisecond)
-				status, success := 0, false
+				status, success, bad := 0, false, false
 				if err == nil {
 					var body struct {
 						Success bool `json:"success"`
@@ -202,6 +268,7 @@ func main() {
 					}
 					data, _ := io.ReadAll(resp.Body)
 					resp.Body.Close()
+					bad = len(data) > 0 && !json.Valid(data)
 					_ = json.Unmarshal(data, &body)
 					status = resp.StatusCode
 					success = body.Success || body.Ok
@@ -222,6 +289,9 @@ func main() {
 					transportErrs++
 				} else {
 					statusCounts[status]++
+					if bad {
+						malformed++
+					}
 					if status == http.StatusOK && success {
 						fixed++
 					}
@@ -253,6 +323,13 @@ func main() {
 		parts = append(parts, fmt.Sprintf("transport-error×%d", transportErrs))
 	}
 	fmt.Printf("loadgen: status %s; %d succeeded\n", strings.Join(parts, " "), fixed)
+	if *chaos {
+		fmt.Printf("loadgen: chaos %d sent, %d rejected 4xx, %d NOT rejected\n",
+			chaosSent, chaosRejected, chaosUnexpected)
+	}
+	if malformed > 0 {
+		fmt.Printf("loadgen: %d responses carried malformed JSON\n", malformed)
+	}
 	s := hist.Snapshot()
 	if s.Count > 0 {
 		fmt.Printf("loadgen: latency ms p50=%.2f p90=%.2f p99=%.2f max=%.2f\n", s.P50, s.P90, s.P99, s.Max)
@@ -302,5 +379,39 @@ func main() {
 
 	if transportErrs > 0 || statusCounts[http.StatusOK] == 0 {
 		os.Exit(1)
+	}
+	// Robustness gates: any non-JSON response or any malformed probe the
+	// server failed to reject is a correctness bug, regardless of rate.
+	if malformed > 0 || chaosUnexpected > 0 {
+		os.Exit(1)
+	}
+	if *maxErrorRate >= 0 && sent > 0 {
+		// Everything that is not a 200 — transport failures included —
+		// counts against the budget; chaos probes are already excluded
+		// from sent.
+		rate := float64(sent-served) / float64(sent)
+		if rate > *maxErrorRate {
+			fmt.Fprintf(os.Stderr, "loadgen: error rate %.4f over -max-error-rate %.4f\n", rate, *maxErrorRate)
+			os.Exit(1)
+		}
+	}
+}
+
+// chaosBody returns the malformed request variant for one chaos index.
+// All five shapes must be rejected 4xx by a robust daemon: syntactically
+// broken JSON, an unknown field, a missing source, an unknown mode, and
+// a negative timeout.
+func chaosBody(i int) string {
+	switch (i / 5) % 5 {
+	case 0:
+		return `{"source": "module m; endmodule", ` // truncated JSON
+	case 1:
+		return `{"source": "module m;\nendmodule\n", "sourcecode": "dup"}`
+	case 2:
+		return `{"source": "   "}`
+	case 3:
+		return `{"source": "module m;\nendmodule\n", "mode": "zero-shot"}`
+	default:
+		return `{"source": "module m;\nendmodule\n", "timeout_ms": -1}`
 	}
 }

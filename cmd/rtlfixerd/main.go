@@ -25,10 +25,18 @@
 // flushes the unwritten tail; a crash costs at most the write-behind
 // window, and a torn journal tail recovers at the next start.
 //
+// Resilience: /v1/readyz answers 503 until the default fixer is
+// prewarmed (-prewarm, on by default) and again while draining or while
+// the durable store is degraded; /v1/healthz is pure liveness. Panicking
+// runs and handlers are isolated into typed 500s, per-configuration
+// circuit breakers fail fast after repeated backend aborts, and
+// -fault-profile installs a deterministic fault-injection schedule
+// (internal/fault) for chaos testing — see scripts/chaos_smoke.sh.
+//
 // The daemon prints exactly one line to stdout — "rtlfixerd: listening on
 // HOST:PORT" — so scripts can discover a randomly assigned port; all
 // other logging goes to stderr. SIGTERM/SIGINT trigger a graceful drain:
-// admission stops (healthz flips to 503), admitted requests finish, then
+// admission stops (readyz flips to 503), admitted requests finish, then
 // the process exits 0. The -drain-timeout deadline aborts the drain and
 // exits 1; a second signal kills the process immediately via the default
 // signal disposition (terminated-by-signal status, not an exit code).
@@ -50,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -75,9 +84,23 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	logRequests := flag.Bool("log-requests", false, "write one structured access-log line per request to stderr")
 	simCheck := flag.Bool("sim-check", true, "simulate each fixed design for one clock cycle (stats + traces only)")
+	prewarm := flag.Bool("prewarm", true, "build the default fixer configuration before /v1/readyz turns ready")
+	faultProfile := flag.String("fault-profile", "", `chaos testing: inject faults per "point:rate[:duration];..." (see internal/fault)`)
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "rtlfixerd: ", log.LstdFlags)
+
+	// Fault injection is strictly opt-in: with no profile no registry is
+	// installed and every injection hook is one nil atomic load.
+	if *faultProfile != "" {
+		reg, err := fault.Parse(*faultProfile, *faultSeed)
+		if err != nil {
+			logger.Fatalf("fault profile: %v", err)
+		}
+		fault.Install(reg)
+		logger.Printf("fault injection ACTIVE (seed %d): %s", *faultSeed, *faultProfile)
+	}
 
 	// The durable state layer: pooled fixers warm-start from it, fresh
 	// results flush behind, and a SIGTERM drain flushes the tail before
@@ -119,6 +142,7 @@ func main() {
 		Logf:            logger.Printf,
 		Tracing:         tracer,
 		AccessLog:       accessLog,
+		Prewarm:         *prewarm,
 	})
 
 	// The served handler is the server itself unless pprof is on, in
@@ -163,7 +187,7 @@ func main() {
 	stop() // a second signal kills the process the default way
 
 	logger.Printf("signal received; draining (timeout %v)", *drainTimeout)
-	srv.BeginDrain() // healthz flips to 503; new fix work is refused
+	srv.BeginDrain() // readyz flips to 503; new fix work is refused
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// Shutdown stops accepting and waits for in-flight handlers, which in

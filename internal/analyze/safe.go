@@ -1,0 +1,26 @@
+package analyze
+
+import (
+	"repro/internal/diag"
+	"repro/internal/fault"
+	"repro/internal/resilience"
+)
+
+// SafeSource is Source behind a panic guard: per the degradation
+// ladder, the semantic analyzer is a best-effort feature that must
+// never be request-fatal, so a panicking rule (or the injected
+// analyze.panic fault) yields an error and no findings instead of
+// unwinding the caller. The agent and the /v1/lint path call this;
+// vlint calls Source directly and lets a crash be loud.
+func SafeSource(src string, opts Options) (out diag.List, err error) {
+	err = resilience.Safe("analyze", func() {
+		if fault.Hit(fault.AnalyzePanic) {
+			panic("fault: injected analyzer panic")
+		}
+		out = Source(src, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

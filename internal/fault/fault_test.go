@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParse: the profile grammar round-trips valid entries and rejects
+// unknown points, bad rates, and malformed entries with useful errors.
+func TestParse(t *testing.T) {
+	r, err := Parse("store.write.error:0.25; llm.transient:1.0 ; sim.stall:0.5:7ms", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+	if got := snap[StoreWrite].Rate; got != 0.25 {
+		t.Fatalf("store.write.error rate = %v, want 0.25", got)
+	}
+	if got := snap[SimStall].DelayMS; got != 7 {
+		t.Fatalf("sim.stall delay = %vms, want 7", got)
+	}
+	if r.Seed() != 42 {
+		t.Fatalf("seed = %d", r.Seed())
+	}
+
+	for _, bad := range []string{
+		"no.such.point:0.5",
+		"store.write.error:1.5",
+		"store.write.error:-0.1",
+		"store.write.error",
+		"store.write.error:0.5:not-a-duration",
+		"store.write.error:0.5:1ms:extra",
+	} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", bad)
+		}
+	}
+	if _, err := Parse("no.such.point:0.5", 1); err == nil || !strings.Contains(err.Error(), "known:") {
+		t.Fatalf("unknown-point error should list the catalog, got %v", err)
+	}
+
+	// Empty profile: valid, empty registry.
+	if r, err := Parse("", 1); err != nil || len(r.Snapshot()) != 0 {
+		t.Fatalf("empty profile: %v, %d points", err, len(r.Snapshot()))
+	}
+}
+
+// TestDeterministicSchedule: the same seed replays the exact same fire
+// schedule; a different seed diverges.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) []bool {
+		r := MustParse("llm.transient:0.3", seed)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i], _ = r.decide(LLMTransient)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+	c := run(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced an identical 200-decision schedule")
+	}
+}
+
+// TestRateAccuracy: over many decisions the fire fraction tracks the
+// configured rate, and the 0/1 extremes are exact.
+func TestRateAccuracy(t *testing.T) {
+	r := MustParse("store.read.error:0.2;store.write.error:0;store.fsync.error:1", 3)
+	fired := 0
+	for i := 0; i < 5000; i++ {
+		if f, _ := r.decide(StoreRead); f {
+			fired++
+		}
+		if f, _ := r.decide(StoreWrite); f {
+			t.Fatal("rate-0 point fired")
+		}
+		if f, _ := r.decide(StoreFsync); !f {
+			t.Fatal("rate-1 point did not fire")
+		}
+	}
+	frac := float64(fired) / 5000
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("rate-0.2 point fired %.3f of the time", frac)
+	}
+	snap := r.Snapshot()
+	if snap[StoreRead].Decisions != 5000 || snap[StoreRead].Fired != uint64(fired) {
+		t.Fatalf("snapshot tallies off: %+v vs fired=%d", snap[StoreRead], fired)
+	}
+}
+
+// TestLimit: SetLimit caps fires — "fail twice then recover" schedules.
+func TestLimit(t *testing.T) {
+	r := MustParse("llm.transient:1", 1)
+	if err := r.SetLimit(LLMTransient, 2); err != nil {
+		t.Fatal(err)
+	}
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if f, _ := r.decide(LLMTransient); f {
+			fires++
+		}
+	}
+	if fires != 2 {
+		t.Fatalf("limited point fired %d times, want 2", fires)
+	}
+	if err := r.SetLimit("llm.persistent", 1); err == nil {
+		t.Fatal("SetLimit on unconfigured point accepted")
+	}
+}
+
+// TestGlobalHelpers: uninstalled registry is inert; installed, the
+// helpers fire per the profile and Snapshot reflects it.
+func TestGlobalHelpers(t *testing.T) {
+	Uninstall()
+	if Enabled() || Hit(WorkerPanic) || Err(StoreRead) != nil || Snapshot() != nil {
+		t.Fatal("uninstalled registry not inert")
+	}
+	Delay(SimStall) // must not sleep or panic
+
+	Install(MustParse("store.read.error:1;worker.panic:0", 9))
+	defer Uninstall()
+	if !Enabled() {
+		t.Fatal("Enabled() false after Install")
+	}
+	err := Err(StoreRead)
+	if err == nil || !IsInjected(err) {
+		t.Fatalf("rate-1 Err = %v", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Point != StoreRead {
+		t.Fatalf("typed error wrong: %v", err)
+	}
+	if Hit(WorkerPanic) {
+		t.Fatal("rate-0 point fired")
+	}
+	if Hit("not.configured") {
+		t.Fatal("unconfigured point fired")
+	}
+	if snap := Snapshot(); snap[StoreRead].Fired != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// TestDelaySleeps: a fired stall point sleeps its configured duration.
+func TestDelaySleeps(t *testing.T) {
+	Install(MustParse("store.slow:1:30ms", 5))
+	defer Uninstall()
+	start := time.Now()
+	Delay(StoreSlow)
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Fatalf("Delay slept only %v", el)
+	}
+}
+
+// TestIsInjectedWrapped: IsInjected sees through wrapping.
+func TestIsInjectedWrapped(t *testing.T) {
+	inner := &Error{Point: StoreFsync}
+	if !IsInjected(inner) {
+		t.Fatal("bare")
+	}
+	if !IsInjected(errors.Join(errors.New("outer"), inner)) {
+		t.Fatal("wrapped")
+	}
+	if IsInjected(errors.New("plain")) {
+		t.Fatal("plain error reported as injected")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/diag"
 	"repro/internal/rag"
@@ -151,10 +152,14 @@ type RepairResult struct {
 	Attempted int
 }
 
-// Model is a simulated LLM with a random source. Not safe for concurrent
-// use; create one per goroutine.
+// Model is a simulated LLM with a random source. A mutex serializes
+// Repair calls so a Model shared across goroutines is memory-safe —
+// but the roll sequence then depends on arrival order, so for
+// reproducible transcripts still create one Model per run (as
+// core.FixTraced does, seeding each with Seed^sampleSeed).
 type Model struct {
 	Persona Persona
+	mu      sync.Mutex
 	rng     *rand.Rand
 }
 
@@ -186,6 +191,8 @@ func clamp01(v float64) float64 {
 // the compiler log with blind visual inspection, then for each hypothesis
 // rolls localization and strategy execution, applying real text edits.
 func (m *Model) Repair(req RepairRequest) RepairResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	p := m.Persona
 	res := RepairResult{Code: req.Code}
 

@@ -1,0 +1,36 @@
+package llm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestModelConcurrentRepair exercises one shared Model from many
+// goroutines under -race: the internal mutex must serialize the random
+// source. (Determinism still requires one Model per run — this test
+// asserts memory safety, not roll order.)
+func TestModelConcurrentRepair(t *testing.T) {
+	m := NewModel(GPT35(), 11)
+	src := "module top_module(output reg q);\n always @(*) q = x\nendmodule\n"
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				res := m.Repair(RepairRequest{
+					Code:       src,
+					Feedback:   fmt.Sprintf("error: syntax error near line %d", 2+g%2),
+					SampleSeed: int64(g*100 + i),
+					Iteration:  i % 3,
+				})
+				if res.Code == "" {
+					t.Error("empty repair result")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

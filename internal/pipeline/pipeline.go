@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/resilience"
 	"repro/internal/trace"
 )
 
@@ -94,7 +95,9 @@ type Result struct {
 	Job        Job
 	Transcript *agent.Transcript
 	// Err is non-nil when the job was canceled or timed out before (or
-	// while) running; Transcript is nil in that case.
+	// while) running, or when it panicked mid-run (a
+	// *resilience.PanicError — the worker recovered and kept serving);
+	// Transcript is nil in that case.
 	Err error
 	// Elapsed is the job's wall-clock run time (zero if never started).
 	Elapsed time.Duration
@@ -232,20 +235,41 @@ func runOne(ctx context.Context, cfg Config, j Job, index int, fn FixFunc) Resul
 	}
 	start := time.Now()
 	if cfg.JobTimeout <= 0 {
-		tr := fn(ctx, j)
-		return Result{Job: j, Transcript: tr, Elapsed: time.Since(start)}
+		tr, perr := invoke(ctx, j, fn)
+		return Result{Job: j, Transcript: tr, Err: perr, Elapsed: time.Since(start)}
 	}
 
 	jctx, cancel := context.WithTimeout(ctx, cfg.JobTimeout)
 	defer cancel()
-	ch := make(chan *agent.Transcript, 1)
-	go func() { ch <- fn(jctx, j) }()
+	type outcome struct {
+		tr  *agent.Transcript
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		tr, perr := invoke(jctx, j, fn)
+		ch <- outcome{tr, perr}
+	}()
 	select {
-	case tr := <-ch:
-		return Result{Job: j, Transcript: tr, Elapsed: time.Since(start)}
+	case o := <-ch:
+		return Result{Job: j, Transcript: o.tr, Err: o.err, Elapsed: time.Since(start)}
 	case <-jctx.Done():
 		return Result{Job: j, Err: jctx.Err(), Elapsed: time.Since(start)}
 	}
+}
+
+// invoke runs the fix function with panic isolation: a panicking job
+// becomes a failed Result carrying a *resilience.PanicError instead of
+// unwinding the worker and crashing the pool (and, behind it, the
+// daemon). The fix function's own defers — run-slot release, in-flight
+// gauges — run normally during the unwind.
+func invoke(ctx context.Context, j Job, fn FixFunc) (tr *agent.Transcript, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			tr, err = nil, resilience.Recovered("pipeline.job", r)
+		}
+	}()
+	return fn(ctx, j), nil
 }
 
 // Shard splits a batch into n contiguous, near-equal chunks (the last

@@ -1,0 +1,162 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	StateClosed   BreakerState = iota // normal: all calls pass
+	StateOpen                         // tripped: calls rejected until cooldown
+	StateHalfOpen                     // probing: limited calls test recovery
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes one Breaker. The zero value applies the defaults
+// noted per field.
+type BreakerConfig struct {
+	FailureThreshold int           // consecutive failures that open the circuit (<=0: 5)
+	Cooldown         time.Duration // open → half-open wait (<=0: 5s)
+	HalfOpenProbes   int           // concurrent probes allowed half-open (<=0: 1)
+
+	Now func() time.Time // test seam; nil means time.Now
+}
+
+// Breaker is a consecutive-failure circuit breaker with half-open
+// probes: FailureThreshold consecutive failures open it, rejecting
+// calls for Cooldown; then up to HalfOpenProbes trial calls are let
+// through — one success recloses the circuit, one failure reopens it
+// and restarts the cooldown. The server keeps one per fixer
+// configuration so a backend persistently failing for one persona/mode
+// cannot burn admission slots that healthy configurations need.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	consec   int
+	openedAt time.Time
+	probes   int
+
+	opens, rejected, failures, successes uint64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a call may proceed. An open breaker whose
+// cooldown has elapsed transitions to half-open and admits probes.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen {
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.rejected++
+			return false
+		}
+		b.state = StateHalfOpen
+		b.probes = 0
+	}
+	if b.state == StateHalfOpen {
+		if b.probes >= b.cfg.HalfOpenProbes {
+			b.rejected++
+			return false
+		}
+		b.probes++
+	}
+	return true
+}
+
+// Success records a successful call; it recloses a half-open circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.successes++
+	b.consec = 0
+	if b.state != StateClosed {
+		b.state = StateClosed
+		b.probes = 0
+	}
+}
+
+// Failure records a failed call. A failure while half-open reopens the
+// circuit immediately; while closed, the consecutive-failure threshold
+// applies.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.consec++
+	if b.state == StateHalfOpen || (b.state == StateClosed && b.consec >= b.cfg.FailureThreshold) {
+		if b.state != StateOpen {
+			b.opens++
+		}
+		b.state = StateOpen
+		b.openedAt = b.cfg.Now()
+		b.probes = 0
+	}
+}
+
+// State returns the breaker's current position (advancing open →
+// half-open if the cooldown has elapsed, so observers see the same
+// state a caller would).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return StateHalfOpen
+	}
+	return b.state
+}
+
+// BreakerSnapshot is a breaker's observable state for /v1/stats.
+type BreakerSnapshot struct {
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Opens               uint64 `json:"opens"`
+	Rejected            uint64 `json:"rejected"`
+	Failures            uint64 `json:"failures"`
+	Successes           uint64 `json:"successes"`
+}
+
+// Snapshot returns the breaker's counters.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	st := b.State() // takes and releases the lock; advances cooldown
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{
+		State:               st.String(),
+		ConsecutiveFailures: b.consec,
+		Opens:               b.opens,
+		Rejected:            b.rejected,
+		Failures:            b.failures,
+		Successes:           b.successes,
+	}
+}

@@ -1,0 +1,116 @@
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Budget caps the total retries one request may spend across all the
+// retryable calls it makes (an agent run retries the LLM once per
+// iteration; without a budget a persistently flaky backend multiplies
+// worst-case latency by MaxAttempts at every step). A nil *Budget is
+// unlimited.
+type Budget struct {
+	remaining atomic.Int64
+}
+
+// NewBudget returns a budget of n retries.
+func NewBudget(n int) *Budget {
+	b := &Budget{}
+	b.remaining.Store(int64(n))
+	return b
+}
+
+// Take consumes one retry; it reports false when the budget is spent.
+func (b *Budget) Take() bool {
+	if b == nil {
+		return true
+	}
+	return b.remaining.Add(-1) >= 0
+}
+
+// Remaining returns the retries left (0 when exhausted).
+func (b *Budget) Remaining() int {
+	if b == nil {
+		return int(^uint(0) >> 1)
+	}
+	if n := b.remaining.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
+}
+
+// RetryPolicy retries transient errors with exponential backoff and
+// full jitter: sleep_k = U(0, min(MaxDelay, BaseDelay·2^k)). Full
+// jitter desynchronizes retry herds — N callers that failed together do
+// not re-arrive together. The zero value is usable and applies the
+// defaults noted per field.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts including the first (<=0: 4)
+	BaseDelay   time.Duration // backoff base (<=0: 2ms)
+	MaxDelay    time.Duration // backoff cap (<=0: 100ms)
+	Budget      *Budget       // shared retry budget (nil: unlimited)
+
+	// Test seams. Nil means time.Sleep and the shared math/rand source
+	// (only consulted after a fault, so an empty fault profile draws
+	// nothing and determinism is preserved).
+	Sleep func(time.Duration)
+	Rand  func() float64
+}
+
+// RetryStats reports what one Do spent.
+type RetryStats struct {
+	Attempts  int  // calls made (>= 1 unless fn was never run)
+	Retries   int  // re-attempts after transient failures
+	Recovered bool // final success needed at least one retry
+}
+
+// Do runs fn until it succeeds, returns a non-transient error, exhausts
+// MaxAttempts, or exhausts the budget — whichever comes first. The
+// returned stats count attempts even when Do ultimately fails.
+func (p RetryPolicy) Do(fn func() error) (RetryStats, error) {
+	max := p.MaxAttempts
+	if max <= 0 {
+		max = 4
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	cap := p.MaxDelay
+	if cap <= 0 {
+		cap = 100 * time.Millisecond
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	rnd := p.Rand
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+
+	var st RetryStats
+	for attempt := 1; ; attempt++ {
+		st.Attempts = attempt
+		err := fn()
+		if err == nil {
+			st.Recovered = attempt > 1
+			return st, nil
+		}
+		if !IsTransient(err) || attempt >= max {
+			return st, err
+		}
+		if !p.Budget.Take() {
+			return st, fmt.Errorf("retry budget exhausted: %w", err)
+		}
+		st.Retries++
+		ceil := base << (attempt - 1)
+		if ceil > cap || ceil <= 0 {
+			ceil = cap
+		}
+		sleep(time.Duration(rnd() * float64(ceil)))
+	}
+}

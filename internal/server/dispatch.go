@@ -26,8 +26,10 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/memo"
 	"repro/internal/pipeline"
+	"repro/internal/resilience"
 	"repro/internal/trace"
 )
 
@@ -241,6 +243,12 @@ func (s *Server) runBatch(batch []*flight) {
 		s.st.inFlight.Inc()
 		defer s.st.inFlight.Dec()
 		s.st.agentRuns.Inc()
+		if fault.Hit(fault.WorkerPanic) {
+			// Deliberately past the gauges and their defers: the injected
+			// panic unwinds through them exactly like a real one, and the
+			// pipeline's recover turns it into this job's PanicError.
+			panic("fault: injected worker panic")
+		}
 		run := f.root.Child("run")
 		run.SetInt("batch_size", int64(len(batch)))
 		ag := run.Child("agent")
@@ -248,6 +256,17 @@ func (s *Server) runBatch(batch []*flight) {
 		if tr != nil {
 			ag.SetBool("success", tr.Success)
 			ag.SetInt("iterations", int64(tr.Iterations))
+			// Per-run resilience accounting (per run, not per waiter —
+			// coalesced followers share one transcript).
+			if tr.LLMRetries > 0 {
+				s.st.llmRetriedRuns.Inc()
+				if tr.Aborted == "" {
+					s.st.llmRetryRecovered.Inc()
+				}
+			}
+			if tr.Aborted != "" {
+				s.st.llmAborted.Inc()
+			}
 		}
 		ag.End()
 		s.simCheck(tr, run)
@@ -267,7 +286,13 @@ func (s *Server) runBatch(batch []*flight) {
 		Workers: s.cfg.Workers,
 		OnResult: func(r pipeline.Result) {
 			f := batch[r.Job.Index]
-			if r.Err != nil {
+			if pe, isPanic := resilience.AsPanic(r.Err); isPanic {
+				// The run panicked mid-flight: fn's defers already
+				// released the run slot and gauges during the unwind, so
+				// no queue-depth charge is outstanding here.
+				s.st.panicsWorker.Inc()
+				s.cfg.logf("server: agent run panicked (isolated): %v\n%s", pe.Value, pe.Stack)
+			} else if r.Err != nil {
 				// Canceled before it ran (server Close): the queue-depth
 				// charge from admission is still outstanding.
 				s.st.queueDepth.Dec()

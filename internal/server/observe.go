@@ -102,7 +102,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{Labels: []metrics.PromLabel{{Name: "result", Value: "passed"}}, Value: float64(st.simPassed.Value())},
 		{Labels: []metrics.PromLabel{{Name: "result", Value: "failed"}}, Value: float64(st.simFailed.Value())},
 		{Labels: []metrics.PromLabel{{Name: "result", Value: "skipped"}}, Value: float64(st.simSkipped.Value())},
+		{Labels: []metrics.PromLabel{{Name: "result", Value: "watchdog"}}, Value: float64(st.simWatchdog.Value())},
 	})
+
+	// Resilience plane.
+	p.CounterVec("rtlfixer_panics_recovered_total", "Panics recovered by bulkhead site.", []metrics.PromSample{
+		{Labels: []metrics.PromLabel{{Name: "site", Value: "http"}}, Value: float64(st.panicsHTTP.Value())},
+		{Labels: []metrics.PromLabel{{Name: "site", Value: "worker"}}, Value: float64(st.panicsWorker.Value())},
+	})
+	p.Counter("rtlfixer_breaker_rejected_total", "Fix requests fast-failed by an open circuit breaker.", st.breakerRejected.Value())
+	p.CounterVec("rtlfixer_llm_runs_total", "Agent runs by LLM-backend resilience event.", []metrics.PromSample{
+		{Labels: []metrics.PromLabel{{Name: "event", Value: "retried"}}, Value: float64(st.llmRetriedRuns.Value())},
+		{Labels: []metrics.PromLabel{{Name: "event", Value: "recovered"}}, Value: float64(st.llmRetryRecovered.Value())},
+		{Labels: []metrics.PromLabel{{Name: "event", Value: "aborted"}}, Value: float64(st.llmAborted.Value())},
+	})
+	p.CounterVec("rtlfixer_brownout_shed_total", "Best-effort work shed under overload, by surface.", []metrics.PromSample{
+		{Labels: []metrics.PromLabel{{Name: "surface", Value: "lint"}}, Value: float64(st.brownoutLintShed.Value())},
+		{Labels: []metrics.PromLabel{{Name: "surface", Value: "trace"}}, Value: float64(st.brownoutTracesShed.Value())},
+	})
+	p.Gauge("rtlfixer_ready", "1 once the server passes /v1/readyz gating (prewarm done, not draining).", boolGauge(s.ready.Load() && !s.isDraining()))
+	if s.cfg.Store != nil {
+		p.Gauge("rtlfixer_store_degraded", "1 while the durable store is shedding to in-memory-only.", boolGauge(s.cfg.Store.Degraded()))
+	}
 
 	if s.stages != nil {
 		snap := s.stages.Snapshot()

@@ -22,7 +22,15 @@
 //   - Graceful drain — BeginDrain refuses new work with 503 while
 //     admitted requests run to completion; Drain waits for them.
 //
-// Endpoints: POST /v1/fix, POST /v1/lint, GET /v1/healthz, GET /v1/stats.
+// The resilience plane (resilience.go) hardens that spine: handler and
+// worker panics are recovered into typed 500s, per-fixer-configuration
+// circuit breakers fail fast after consecutive bad runs, overload browns
+// out best-effort surfaces (lint, tracing) before fix traffic, and
+// /v1/readyz separates routability (drain, warm-up, store degradation)
+// from /v1/healthz liveness.
+//
+// Endpoints: POST /v1/fix, POST /v1/lint, GET /v1/healthz,
+// GET /v1/readyz, GET /v1/stats.
 package server
 
 import (
@@ -41,7 +49,9 @@ import (
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/fault"
 	"repro/internal/memo"
+	"repro/internal/resilience"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -110,6 +120,25 @@ type Config struct {
 	// honor an incoming X-Request-ID header and are echoed back on the
 	// response either way.
 	AccessLog *slog.Logger
+	// Prewarm builds the default fixer configuration in the background at
+	// startup; /v1/readyz answers 503 "warming" until it is pooled, so a
+	// fleet's load balancer only routes to daemons whose first request
+	// will not pay index construction. Off by default (tests and
+	// single-shot tools want a synchronously-ready server).
+	Prewarm bool
+	// BreakerThreshold is how many consecutive failed agent runs against
+	// one fixer configuration open its circuit breaker (new requests for
+	// that configuration get an immediate 503 until the cooldown's
+	// half-open probe succeeds). <= 0 means 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before letting a
+	// half-open probe through; <= 0 means 5s.
+	BreakerCooldown time.Duration
+	// BrownoutThreshold is the admission-fill fraction past which the
+	// server browns out best-effort surfaces (lint answers 503, new
+	// request traces are shed) to keep capacity for fix traffic; <= 0
+	// means 0.9, >= 1 effectively disables brownout.
+	BrownoutThreshold float64
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +168,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSourceBytes <= 0 {
 		c.MaxSourceBytes = 1 << 20
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.BrownoutThreshold <= 0 {
+		c.BrownoutThreshold = 0.9
 	}
 	return c
 }
@@ -194,6 +232,14 @@ type Server struct {
 	// seam for blocking runs; set before serving traffic).
 	testHook func(f *flight)
 
+	// Resilience plane (resilience.go): per-fixer-configuration circuit
+	// breakers, the readiness latch /v1/readyz gates on, and the
+	// admission-fill mark past which best-effort surfaces brown out.
+	breakersMu sync.Mutex
+	breakers   map[fixerKey]*resilience.Breaker
+	ready      atomic.Bool
+	brownoutAt int
+
 	// Observability plane. tracer aliases cfg.Tracing (nil = off);
 	// stages folds finished traces into per-stage latency histograms
 	// for /metrics, /v1/stats, and the loadgen breakdown table.
@@ -220,8 +266,13 @@ func New(cfg Config) *Server {
 		flights:        map[flightKey]*flight{},
 		stop:           make(chan struct{}),
 		dispatcherDone: make(chan struct{}),
+		breakers:       map[fixerKey]*resilience.Breaker{},
 	}
 	s.st.init()
+	s.brownoutAt = int(cfg.BrownoutThreshold * float64(cfg.MaxInFlight+cfg.QueueDepth))
+	if s.brownoutAt < 1 {
+		s.brownoutAt = 1
+	}
 	s.tracer = cfg.Tracing
 	if s.tracer != nil {
 		s.stages = trace.NewStageAgg()
@@ -234,10 +285,16 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/fix", s.handleFix)
 	s.mux.HandleFunc("/v1/lint", s.handleLint)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/trace", s.handleTraceList)
 	s.mux.HandleFunc("/v1/trace/", s.handleTraceGet)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.Prewarm {
+		go s.prewarm()
+	} else {
+		s.ready.Store(true)
+	}
 	go s.dispatch()
 	return s
 }
@@ -255,6 +312,9 @@ func requestID(ctx context.Context) string {
 // ServeHTTP implements http.Handler: it assigns (or propagates) the
 // request ID, echoes it as a response header, records per-status
 // counters, and emits one structured access-log record when configured.
+// It is also the process's handler-panic bulkhead: a panicking handler
+// is recovered into a typed 500 (when nothing was written yet) and a
+// counter, and the daemon keeps serving.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
 	id := r.Header.Get("X-Request-ID")
@@ -264,7 +324,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Request-ID", id)
 	r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
 	rec := &statusRecorder{ResponseWriter: w}
-	s.mux.ServeHTTP(rec, r)
+	func() {
+		defer func() {
+			if rv := recover(); rv != nil {
+				pe := resilience.Recovered("http", rv)
+				s.st.panicsHTTP.Inc()
+				s.cfg.logf("server: recovered handler panic on %s %s: %v\n%s",
+					r.Method, r.URL.Path, pe.Value, pe.Stack)
+				if rec.status == 0 {
+					writeError(rec, http.StatusInternalServerError,
+						"internal error: handler panicked (recovered; server healthy)")
+				}
+			}
+		}()
+		s.mux.ServeHTTP(rec, r)
+	}()
 	s.st.countStatus(rec.code())
 	if s.cfg.AccessLog != nil {
 		s.cfg.AccessLog.LogAttrs(r.Context(), slog.LevelInfo, "request",
@@ -575,8 +649,11 @@ func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	if fault.Hit(fault.HandlerPanic) {
+		panic("fault: injected handler panic")
+	}
 	started := time.Now()
-	root := s.tracer.Start("fix")
+	root := s.traceStart("fix")
 	defer root.End()
 	root.SetStr("request_id", requestID(r.Context()))
 
@@ -596,6 +673,15 @@ func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
 		adm.SetStr("outcome", "fixer_error")
 		adm.End()
 		writeFixerError(w, err)
+		return
+	}
+	br := s.breakerFor(req.key())
+	if !br.Allow() {
+		adm.SetStr("outcome", "breaker_open")
+		adm.End()
+		s.st.breakerRejected.Inc()
+		writeError(w, http.StatusServiceUnavailable,
+			"circuit breaker open for this fixer configuration; retry after cooldown")
 		return
 	}
 
@@ -645,8 +731,20 @@ func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.st.fixLatency.Observe(msSince(started))
+	// Only the leader of a non-coalesced flight records the run's outcome
+	// on the breaker, so one bad run counts once no matter how many
+	// waiters shared it.
+	if !coalesced {
+		s.recordBreaker(br, f)
+	}
 	switch {
 	case f.err != nil:
+		if _, isPanic := resilience.AsPanic(f.err); isPanic {
+			root.SetStr("outcome", "panic")
+			writeError(w, http.StatusInternalServerError,
+				"internal error: agent run panicked (isolated; server healthy)")
+			break
+		}
 		root.SetStr("outcome", "canceled")
 		writeError(w, http.StatusServiceUnavailable, "run canceled: %v", f.err)
 	case f.tr == nil:
@@ -655,6 +753,11 @@ func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
 		root.SetStr("outcome", "expired_before_run")
 		s.st.deadlineExpired.Inc()
 		writeError(w, http.StatusGatewayTimeout, "coalesced run expired before starting")
+	case f.tr.Aborted != "":
+		// The (simulated) LLM backend stayed down past the retry budget:
+		// the upstream dependency failed, not the request — 502.
+		root.SetStr("outcome", "llm_aborted")
+		writeError(w, http.StatusBadGateway, "llm backend failed: %s", f.tr.Aborted)
 	default:
 		resp := fixResponse{
 			Success:    f.tr.Success,
@@ -687,12 +790,19 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	if s.brownedOut() {
+		// Lint is a best-effort surface: under fix-traffic pressure it is
+		// the first thing shed (the degradation ladder's brownout rung).
+		s.st.brownoutLintShed.Inc()
+		writeError(w, http.StatusServiceUnavailable, "lint shed under load (brownout); retry later")
+		return
+	}
 	started := time.Now()
 	req, ok := s.decodeFixRequest(w, r)
 	if !ok {
 		return
 	}
-	root := s.tracer.Start("lint")
+	root := s.traceStart("lint")
 	root.SetStr("request_id", requestID(r.Context()))
 	root.SetStr("filename", req.Filename)
 	defer root.End()
@@ -732,10 +842,13 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz serves GET /v1/healthz; a draining server answers 503 so
-// load balancers stop routing to it. With a durable store attached, the
-// body carries its size and flush lag so operators can see unflushed
-// work at a glance.
+// handleHealthz serves GET /v1/healthz: pure liveness, always 200 while
+// the process can answer at all. Routability — drain, warm-up, store
+// degradation — lives on /v1/readyz (resilience.go); healthz still
+// names those states in its body so one curl tells an operator the
+// story, but a draining or degraded daemon is alive, not dead. With a
+// durable store attached, the body carries its size and flush lag so
+// operators can see unflushed work at a glance.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.st.healthzRequests.Inc()
 	body := map[string]any{}
@@ -743,6 +856,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// Brief, not Stats: healthz is polled, and the full snapshot
 		// walks the whole index under the store's serving mutex.
 		body["store"] = s.cfg.Store.Brief()
+		body["degraded"] = s.cfg.Store.Degraded()
 	}
 	body["build"] = buildSummary()
 	if s.tracer != nil {
@@ -750,10 +864,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.isDraining() {
 		body["status"] = "draining"
-		writeJSON(w, http.StatusServiceUnavailable, body)
-		return
+	} else {
+		body["status"] = "ok"
 	}
-	body["status"] = "ok"
 	body["uptime_ms"] = msSince(s.start)
 	writeJSON(w, http.StatusOK, body)
 }

@@ -288,13 +288,23 @@ func TestGracefulDrain(t *testing.T) {
 	if status, _ := postFix(t, ts.URL, map[string]any{"source": cleanSource}); status != http.StatusServiceUnavailable {
 		t.Fatalf("fix during drain = %d, want 503", status)
 	}
+	// Liveness vs routability: healthz stays 200 (the process is alive,
+	// just draining) while readyz flips to 503 so balancers stop routing.
 	resp, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain = %d, want 200 (liveness)", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz during drain = %d, want 503", resp.StatusCode)
+		t.Fatalf("readyz during drain = %d, want 503", resp.StatusCode)
 	}
 
 	close(release)

@@ -11,19 +11,42 @@ package server
 
 import (
 	"strings"
+	"time"
 
 	"repro/internal/agent"
+	"repro/internal/resilience"
 	"repro/internal/sema"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
-// simCheck runs the smoke check for one finished agent run, recording
+// Watchdog budgets for one smoke check: the settle-plus-one-pulse run is
+// microseconds on healthy designs, so these bounds only ever trip on a
+// runaway (or fault-injected) simulation.
+const (
+	simCheckWall  = 2 * time.Second
+	simCheckSteps = 64
+)
+
+// simCheck runs the smoke check behind a panic guard: the check is a
+// best-effort signal on the degradation ladder, so a panicking engine
+// (or a fault-injected one) skips the feature instead of failing the
+// whole agent run it rides on.
+func (s *Server) simCheck(tr *agent.Transcript, parent *trace.Span) {
+	if err := resilience.Safe("simcheck", func() { s.runSimCheck(tr, parent) }); err != nil {
+		s.st.simSkipped.Inc()
+		s.cfg.logf("server: sim check panicked (isolated): %v", err)
+	}
+}
+
+// runSimCheck is the smoke check for one finished agent run, recording
 // the outcome under a "sim" child of parent. Sources that do not
 // elaborate (the personas accept code the stricter sim frontend
-// rejects) are counted as skipped, not failed. The shared SimCache
-// means a coalesced-or-repeated source pays frontend+compile once.
-func (s *Server) simCheck(tr *agent.Transcript, parent *trace.Span) {
+// rejects) are counted as skipped, not failed; a simulation that blows
+// its watchdog budget is canceled and counted, never request-fatal. The
+// shared SimCache means a coalesced-or-repeated source pays
+// frontend+compile once.
+func (s *Server) runSimCheck(tr *agent.Transcript, parent *trace.Span) {
 	if s.simCache == nil || tr == nil || !tr.Success {
 		return
 	}
@@ -52,7 +75,13 @@ func (s *Server) simCheck(tr *agent.Transcript, parent *trace.Span) {
 		return
 	}
 
+	sm.SetWatchdog(resilience.NewWatchdog(simCheckWall, simCheckSteps))
 	if err := sm.Settle(); err != nil {
+		if resilience.IsWatchdog(err) {
+			sp.SetStr("result", "watchdog")
+			s.st.simWatchdog.Inc()
+			return
+		}
 		sp.SetStr("result", "settle_error")
 		s.st.simFailed.Inc()
 		return
@@ -60,6 +89,11 @@ func (s *Server) simCheck(tr *agent.Transcript, parent *trace.Span) {
 	if clk := clockInput(sm.Design()); clk != "" {
 		sp.SetStr("clock", clk)
 		if err := sm.ClockPulse(clk); err != nil {
+			if resilience.IsWatchdog(err) {
+				sp.SetStr("result", "watchdog")
+				s.st.simWatchdog.Inc()
+				return
+			}
 			sp.SetStr("result", "clock_error")
 			s.st.simFailed.Inc()
 			return

@@ -10,15 +10,17 @@ import (
 	"strconv"
 
 	"repro/internal/analyze"
+	"repro/internal/fault"
 	"repro/internal/memo"
 	"repro/internal/metrics"
+	"repro/internal/resilience"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
 
 // statusCodes are the statuses the service can emit; anything else lands
 // in the "other" bucket.
-var statusCodes = []int{200, 400, 404, 405, 413, 429, 500, 503, 504}
+var statusCodes = []int{200, 400, 404, 405, 413, 429, 500, 502, 503, 504}
 
 // serverStats holds every live counter. Fields are written with atomics;
 // Snapshot reads are not a consistent cut across fields (each field is
@@ -27,6 +29,7 @@ type serverStats struct {
 	fixRequests     metrics.Counter
 	lintRequests    metrics.Counter
 	healthzRequests metrics.Counter
+	readyzRequests  metrics.Counter
 	statsRequests   metrics.Counter
 
 	status      map[int]*metrics.Counter
@@ -68,6 +71,19 @@ type serverStats struct {
 	simPassed  metrics.Counter
 	simFailed  metrics.Counter
 	simSkipped metrics.Counter
+
+	// Resilience plane: recovered panics by bulkhead, circuit-breaker
+	// fast-fails, the in-agent LLM retry ledger, brownout shedding, and
+	// sim-check watchdog trips.
+	panicsHTTP         metrics.Counter
+	panicsWorker       metrics.Counter
+	breakerRejected    metrics.Counter
+	llmRetriedRuns     metrics.Counter
+	llmRetryRecovered  metrics.Counter
+	llmAborted         metrics.Counter
+	brownoutLintShed   metrics.Counter
+	brownoutTracesShed metrics.Counter
+	simWatchdog        metrics.Counter
 }
 
 func (st *serverStats) init() {
@@ -111,6 +127,7 @@ type StatsSnapshot struct {
 		Fix     uint64 `json:"fix"`
 		Lint    uint64 `json:"lint"`
 		Healthz uint64 `json:"healthz"`
+		Readyz  uint64 `json:"readyz"`
 		Stats   uint64 `json:"stats"`
 	} `json:"requests"`
 
@@ -174,13 +191,43 @@ type StatsSnapshot struct {
 	} `json:"cache"`
 
 	// SimCheck summarizes the post-fix simulation smoke checks (zeros
-	// when disabled).
+	// when disabled). Watchdog counts checks canceled for blowing their
+	// wall-clock/step budget — a skip, not a verdict on the fix.
 	SimCheck struct {
-		Checked uint64 `json:"checked"`
-		Passed  uint64 `json:"passed"`
-		Failed  uint64 `json:"failed"`
-		Skipped uint64 `json:"skipped"`
+		Checked  uint64 `json:"checked"`
+		Passed   uint64 `json:"passed"`
+		Failed   uint64 `json:"failed"`
+		Skipped  uint64 `json:"skipped"`
+		Watchdog uint64 `json:"watchdog"`
 	} `json:"sim_check"`
+
+	// Resilience is the fault-tolerance ledger: recovered panics per
+	// bulkhead, breaker activity per fixer configuration, the LLM retry/
+	// abort split, brownout shedding, and store degradation.
+	Resilience struct {
+		PanicsHTTP         uint64 `json:"panics_http"`
+		PanicsWorker       uint64 `json:"panics_worker"`
+		BreakerRejected    uint64 `json:"breaker_rejected"`
+		LLMRetriedRuns     uint64 `json:"llm_retried_runs"`
+		LLMRetryRecovered  uint64 `json:"llm_retry_recovered"`
+		LLMAborted         uint64 `json:"llm_aborted"`
+		BrownoutLintShed   uint64 `json:"brownout_lint_shed"`
+		BrownoutTracesShed uint64 `json:"brownout_traces_shed"`
+		SimWatchdogTrips   uint64 `json:"sim_watchdog_trips"`
+		StoreDegraded      bool   `json:"store_degraded"`
+		Ready              bool   `json:"ready"`
+
+		// Breakers holds one snapshot per pooled fixer configuration,
+		// keyed "compiler/persona/mode" (rag/iters/analyze omitted from
+		// the key for readability; distinct configurations that collide
+		// are distinguished by a numeric suffix).
+		Breakers map[string]resilience.BreakerSnapshot `json:"breakers,omitempty"`
+	} `json:"resilience"`
+
+	// Faults, present only when a fault-injection profile is installed
+	// (-fault-profile), snapshots each active injection point's decision
+	// and fire counters — the chaos harness asserts determinism on these.
+	Faults map[string]fault.PointStats `json:"faults,omitempty"`
 
 	// Stages, present when tracing is on, is the per-stage latency
 	// breakdown folded from finished request traces — one histogram per
@@ -219,6 +266,7 @@ func (s *Server) Stats() StatsSnapshot {
 	snap.Requests.Fix = st.fixRequests.Value()
 	snap.Requests.Lint = st.lintRequests.Value()
 	snap.Requests.Healthz = st.healthzRequests.Value()
+	snap.Requests.Readyz = st.readyzRequests.Value()
 	snap.Requests.Stats = st.statsRequests.Value()
 
 	snap.Status = make(map[string]uint64)
@@ -279,6 +327,21 @@ func (s *Server) Stats() StatsSnapshot {
 	snap.SimCheck.Passed = st.simPassed.Value()
 	snap.SimCheck.Failed = st.simFailed.Value()
 	snap.SimCheck.Skipped = st.simSkipped.Value()
+	snap.SimCheck.Watchdog = st.simWatchdog.Value()
+
+	snap.Resilience.PanicsHTTP = st.panicsHTTP.Value()
+	snap.Resilience.PanicsWorker = st.panicsWorker.Value()
+	snap.Resilience.BreakerRejected = st.breakerRejected.Value()
+	snap.Resilience.LLMRetriedRuns = st.llmRetriedRuns.Value()
+	snap.Resilience.LLMRetryRecovered = st.llmRetryRecovered.Value()
+	snap.Resilience.LLMAborted = st.llmAborted.Value()
+	snap.Resilience.BrownoutLintShed = st.brownoutLintShed.Value()
+	snap.Resilience.BrownoutTracesShed = st.brownoutTracesShed.Value()
+	snap.Resilience.SimWatchdogTrips = st.simWatchdog.Value()
+	snap.Resilience.StoreDegraded = s.cfg.Store != nil && s.cfg.Store.Degraded()
+	snap.Resilience.Ready = s.ready.Load()
+	snap.Resilience.Breakers = s.breakerSnapshots()
+	snap.Faults = fault.Snapshot()
 
 	if s.stages != nil {
 		snap.Stages = s.stages.Snapshot()

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitvec"
+	"repro/internal/resilience"
 	"repro/internal/verilog"
 )
 
@@ -33,7 +34,12 @@ type engine struct {
 	changed     bool
 	trackStores bool
 	shadow      []bitvec.Vec
+	// wd, when armed via Simulator.SetWatchdog, is checked inside the
+	// settle fixpoint so a runaway group is canceled mid-settle.
+	wd *resilience.Watchdog
 }
+
+func (e *engine) setWatchdog(wd *resilience.Watchdog) { e.wd = wd }
 
 func newEngine(p *Program) *engine {
 	e := &engine{
@@ -146,6 +152,9 @@ func (e *engine) Settle() error {
 		}
 		settled := false
 		for iter := 0; iter < settleLimit; iter++ {
+			if err := e.wd.Check(); err != nil {
+				return err
+			}
 			e.changed = false
 			for _, ni := range item.nodes {
 				if err := e.runNodeTracked(ni); err != nil {

@@ -36,6 +36,8 @@ import (
 	"fmt"
 
 	"repro/internal/bitvec"
+	"repro/internal/fault"
+	"repro/internal/resilience"
 	"repro/internal/sema"
 )
 
@@ -80,6 +82,25 @@ type Simulator struct {
 	design   *sema.Design
 	b        backend
 	compiled bool
+	wd       *resilience.Watchdog
+}
+
+// watchdogSettable is implemented by backends that check the watchdog
+// inside their settle fixpoint loops, so a runaway settle is canceled
+// mid-iteration, not merely at the next cycle boundary.
+type watchdogSettable interface {
+	setWatchdog(*resilience.Watchdog)
+}
+
+// SetWatchdog arms (or, with nil, disarms) a wall-clock/cycle budget on
+// this simulator. Every Settle — including the three inside ClockPulse —
+// consumes one watchdog step, and both backends check the budget inside
+// their fixpoint loops. A nil watchdog costs nothing on the hot path.
+func (s *Simulator) SetWatchdog(wd *resilience.Watchdog) {
+	s.wd = wd
+	if ws, ok := s.b.(watchdogSettable); ok {
+		ws.setWatchdog(wd)
+	}
 }
 
 // New builds a simulator over an elaborated design using the default
@@ -142,24 +163,31 @@ func (s *Simulator) SetInput(name string, v bitvec.Vec) error { return s.b.SetIn
 func (s *Simulator) SetInputUint(name string, v uint64) error { return s.b.SetInputUint(name, v) }
 
 // Settle evaluates continuous assigns and combinational always blocks to a
-// fixpoint.
-func (s *Simulator) Settle() error { return s.b.Settle() }
+// fixpoint. With a watchdog armed it consumes one step and enforces the
+// budget; the sim.stall fault point can inject a stall here.
+func (s *Simulator) Settle() error {
+	fault.Delay(fault.SimStall)
+	if err := s.wd.Step(1); err != nil {
+		return err
+	}
+	return s.b.Settle()
+}
 
 // ClockPulse produces a full 0→1→0 pulse on the named signal. Combinational
 // logic settles before the rising edge (so next-state logic sees the inputs
 // driven since the last cycle), and again after each edge.
 func (s *Simulator) ClockPulse(name string) error {
-	if err := s.b.Settle(); err != nil {
+	if err := s.Settle(); err != nil {
 		return err
 	}
 	if err := s.b.SetInputUint(name, 1); err != nil {
 		return err
 	}
-	if err := s.b.Settle(); err != nil {
+	if err := s.Settle(); err != nil {
 		return err
 	}
 	if err := s.b.SetInputUint(name, 0); err != nil {
 		return err
 	}
-	return s.b.Settle()
+	return s.Settle()
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitvec"
+	"repro/internal/resilience"
 	"repro/internal/sema"
 	"repro/internal/verilog"
 )
@@ -27,7 +28,13 @@ type walkerSim struct {
 	assigns    []*verilog.AssignItem
 	combAlways []*verilog.AlwaysBlock
 	seqAlways  []*verilog.AlwaysBlock
+
+	// wd, when armed via Simulator.SetWatchdog, is checked inside the
+	// settle fixpoint so a runaway settle is canceled mid-iteration.
+	wd *resilience.Watchdog
 }
+
+func (s *walkerSim) setWatchdog(wd *resilience.Watchdog) { s.wd = wd }
 
 // New builds a simulator over an elaborated design. It fails when the
 // design uses constructs the simulator does not support.
@@ -202,6 +209,9 @@ func (s *walkerSim) fireEdge(name string, edge verilog.EventEdge) error {
 // fixpoint.
 func (s *walkerSim) Settle() error {
 	for iter := 0; iter < settleLimit; iter++ {
+		if err := s.wd.Check(); err != nil {
+			return err
+		}
 		changed := false
 		for _, a := range s.assigns {
 			env := newEnv(s)

@@ -1,0 +1,280 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// putN writes n distinct compile records and returns a checker that
+// asserts all n are readable from the given store.
+func putN(s *Store, n int) func(t *testing.T, s *Store, phase string) {
+	for i := 0; i < n; i++ {
+		s.Put(KindCompile, uint64(1000+i), []byte(fmt.Sprintf("record-%d", i)))
+	}
+	return func(t *testing.T, s *Store, phase string) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			d, ok := s.Get(KindCompile, uint64(1000+i))
+			if !ok || string(d) != fmt.Sprintf("record-%d", i) {
+				t.Fatalf("%s: record %d = %q, %v", phase, i, d, ok)
+			}
+		}
+	}
+}
+
+// TestWriteFaultFlushRetryRecovers: a transient write fault mid-append
+// is absorbed by the in-flush retry — the flush succeeds, nothing is
+// lost, and the retry is counted.
+func TestWriteFaultFlushRetryRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions())
+	check := putN(s, 20)
+
+	r := fault.MustParse("store.write.error:1", 3)
+	if err := r.SetLimit(StoreWriteFault, 1); err != nil {
+		t.Fatal(err)
+	}
+	fault.Install(r)
+	err := s.Flush()
+	fault.Uninstall()
+	if err != nil {
+		t.Fatalf("flush with one transient write fault should retry through: %v", err)
+	}
+	st := s.Stats()
+	if st.FlushRetries == 0 || st.Degraded {
+		t.Fatalf("stats = retries %d degraded %v", st.FlushRetries, st.Degraded)
+	}
+	check(t, s, "after retried flush")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir, testOptions())
+	defer s2.Close()
+	check(t, s2, "after reopen")
+}
+
+// TestPersistentWriteFaultKeepsRecords: when every append attempt fails
+// the flush errors but the batch stays pending; once the fault clears,
+// the next flush lands everything and a reopen sees every record.
+func TestPersistentWriteFaultKeepsRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions())
+	check := putN(s, 20)
+
+	fault.Install(fault.MustParse("store.write.error:1", 3))
+	if err := s.Flush(); err == nil {
+		t.Fatal("flush under a persistent write fault should fail")
+	}
+	check(t, s, "mid-outage (served from pending)")
+	fault.Uninstall()
+
+	if err := s.Flush(); err != nil {
+		t.Fatalf("post-outage flush: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir, testOptions())
+	defer s2.Close()
+	check(t, s2, "after reopen")
+}
+
+// TestTornWriteMidAppendRecovers: an append that lands half the batch
+// then dies (the fsync-less crash shape) must leave the store
+// reopenable with no record loss — the retry overwrites the torn bytes
+// at the same offset; even closing during the outage only risks the
+// never-acknowledged tail, and Open truncates the torn frames cleanly.
+func TestTornWriteMidAppendRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions())
+	check := putN(s, 20)
+
+	// One torn write, then clean: the in-flush retry rewrites in place.
+	r := fault.MustParse("store.write.torn:1", 5)
+	if err := r.SetLimit(StoreTornFault, 1); err != nil {
+		t.Fatal(err)
+	}
+	fault.Install(r)
+	err := s.Flush()
+	fault.Uninstall()
+	if err != nil {
+		t.Fatalf("flush with one torn write should retry through: %v", err)
+	}
+	check(t, s, "after torn-then-retried flush")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir, testOptions())
+	check(t, s2, "after reopen")
+	if st := s2.Stats(); st.RecoveredTailBytes != 0 {
+		t.Fatalf("clean journal reported %d torn bytes", st.RecoveredTailBytes)
+	}
+	s2.Close()
+
+	// Persistently torn: every flush fails, the journal tail is garbage.
+	// Reopen must truncate it and keep every earlier durable record.
+	s3 := openTest(t, dir, testOptions())
+	s3.Put(KindCompile, 7777, []byte("late-unflushed"))
+	fault.Install(fault.MustParse("store.write.torn:1", 5))
+	if err := s3.Flush(); err == nil {
+		t.Fatal("flush under persistent torn writes should fail")
+	}
+	fault.Uninstall()
+	// Simulate the crash: no clean close path; reopen over the dirty dir.
+	s3.journal.Close()
+	s3.lock.Close()
+
+	s4 := openTest(t, dir, testOptions())
+	defer s4.Close()
+	check(t, s4, "after crash with torn tail")
+	if st := s4.Stats(); st.RecoveredTailBytes == 0 {
+		t.Fatal("torn tail not reported as recovered")
+	}
+}
+
+// TestFsyncFaultMidAppend: fsync failures behave like write failures —
+// retried, and never lose acknowledged records.
+func TestFsyncFaultMidAppend(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions())
+	check := putN(s, 10)
+
+	fault.Install(fault.MustParse("store.fsync.error:1", 9))
+	if err := s.Flush(); err == nil {
+		t.Fatal("flush under persistent fsync faults should fail")
+	}
+	fault.Uninstall()
+	if err := s.Flush(); err != nil {
+		t.Fatalf("recovered flush: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir, testOptions())
+	defer s2.Close()
+	check(t, s2, "after reopen")
+}
+
+// TestCASFaultMidCompaction: a CAS write failure aborts compaction, but
+// the journal is untouched (durable-before-truncate), so every record
+// survives — both live and across a reopen — and a later compaction
+// succeeds.
+func TestCASFaultMidCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions())
+	check := putN(s, 20)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Install(fault.MustParse("store.cas.error:1", 2))
+	if err := s.Compact(); err == nil {
+		t.Fatal("compaction under CAS faults should fail")
+	}
+	fault.Uninstall()
+	check(t, s, "after aborted compaction")
+
+	if err := s.Compact(); err != nil {
+		t.Fatalf("post-outage compaction: %v", err)
+	}
+	st := s.Stats()
+	if st.CASFiles != 20 || st.JournalRecords != 0 {
+		t.Fatalf("post-compaction layout: %+v", st)
+	}
+	check(t, s, "after successful compaction")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir, testOptions())
+	defer s2.Close()
+	check(t, s2, "after reopen from CAS")
+}
+
+// TestReadFaultDoesNotEvict: a single transient read fault must not
+// evict a live durable record — eviction needs two consecutive failures
+// at the same location.
+func TestReadFaultDoesNotEvict(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions())
+	defer s.Close()
+	s.Put(KindCompile, 500, []byte("precious"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the in-memory copies so Get must hit the journal.
+	s.mu.Lock()
+	s.pending = map[recID][]byte{}
+	s.pendingOrder = nil
+	s.inflight = map[recID][]byte{}
+	s.mu.Unlock()
+
+	r := fault.MustParse("store.read.error:1", 4)
+	if err := r.SetLimit(StoreReadFault, 1); err != nil {
+		t.Fatal(err)
+	}
+	fault.Install(r)
+	d, ok := s.Get(KindCompile, 500)
+	fault.Uninstall()
+	if !ok || string(d) != "precious" {
+		t.Fatalf("one transient read fault lost the record: %q, %v", d, ok)
+	}
+	if st := s.Stats(); st.Records != 1 {
+		t.Fatalf("record evicted: %+v", st)
+	}
+}
+
+// TestDegradedModeShedsAndRecovers: DegradeAfter consecutive failed
+// flushes flip the store into degraded mode — Puts past the cap are
+// shed and counted, Brief/Stats carry the flag — and one good flush
+// recovers it with the retained pending records intact on disk.
+func TestDegradedModeShedsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{NoFlusher: true, DegradeAfter: 2, FlushBatch: 4})
+	defer s.Close()
+	check := putN(s, 8)
+
+	fault.Install(fault.MustParse("store.write.error:1", 6))
+	for i := 0; i < 2; i++ {
+		if err := s.Flush(); err == nil {
+			t.Fatal("flush should fail under the fault")
+		}
+	}
+	if !s.Degraded() || !s.Brief().Degraded {
+		t.Fatal("store not degraded after DegradeAfter failures")
+	}
+	// Pending is at 8 < cap (4*4=16): these still land.
+	for i := 0; i < 8; i++ {
+		s.Put(KindCompile, uint64(2000+i), []byte("kept"))
+	}
+	// Now at the cap: new identities are shed, and served misses.
+	s.Put(KindCompile, 9999, []byte("shed"))
+	if _, ok := s.Get(KindCompile, 9999); ok {
+		t.Fatal("shed put should not be visible")
+	}
+	st := s.Stats()
+	if !st.Degraded || st.DroppedPuts != 1 {
+		t.Fatalf("degraded stats: %+v", st)
+	}
+	fault.Uninstall()
+
+	if err := s.Flush(); err != nil {
+		t.Fatalf("recovery flush: %v", err)
+	}
+	if s.Degraded() {
+		t.Fatal("store still degraded after a successful flush")
+	}
+	check(t, s, "after recovery")
+	if d, ok := s.Get(KindCompile, 2000); !ok || string(d) != "kept" {
+		t.Fatalf("degraded-window put lost: %q, %v", d, ok)
+	}
+}
+
+// The fault package's point names, aliased so the SetLimit calls above
+// read clearly (and fail to compile if the catalog drifts).
+const (
+	StoreWriteFault = fault.StoreWrite
+	StoreTornFault  = fault.StoreTorn
+	StoreReadFault  = fault.StoreRead
+)

@@ -40,6 +40,9 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"repro/internal/fault"
+	"repro/internal/resilience"
 )
 
 // Kind namespaces records: each persistence adapter owns one. The byte is
@@ -106,6 +109,10 @@ type Options struct {
 	// NoFlusher disables the background flusher; callers drive Flush
 	// themselves (tests, one-shot CLIs that flush at exit).
 	NoFlusher bool
+	// DegradeAfter is how many consecutive failed flushes (each already
+	// retried internally) put the store into degraded, in-memory-only
+	// mode; <= 0 means 3. A later successful flush recovers it.
+	DegradeAfter int
 	// Logf, when non-nil, receives one line per lifecycle event (open,
 	// recovery, compaction) — never one per record.
 	Logf func(format string, args ...any)
@@ -120,6 +127,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactBytes <= 0 {
 		o.CompactBytes = 8 << 20
+	}
+	if o.DegradeAfter <= 0 {
+		o.DegradeAfter = 3
 	}
 	return o
 }
@@ -170,6 +180,14 @@ type Stats struct {
 	Flushes     uint64 `json:"flushes"`
 	Compactions uint64 `json:"compactions"`
 	IOErrors    uint64 `json:"io_errors"`
+
+	// FlushRetries counts journal appends that needed an internal retry;
+	// Degraded and DroppedPuts describe the degradation ladder's bottom
+	// rung (consecutive flush failures → serve from memory, shed writes
+	// beyond a cap instead of growing without bound).
+	FlushRetries uint64 `json:"flush_retries"`
+	Degraded     bool   `json:"degraded"`
+	DroppedPuts  uint64 `json:"dropped_puts"`
 }
 
 // Store is the on-disk implementation of Backing. All methods are safe
@@ -208,7 +226,21 @@ type Store struct {
 	ioErrors                uint64
 	loadedAtOpen            int
 	recoveredTail           int64
+
+	// Degradation ladder state (guarded by mu). consecFlushFails counts
+	// back-to-back failed flushes; at opts.DegradeAfter the store goes
+	// degraded: serving continues from memory, but pending stops growing
+	// past degradedPendingCap (excess Puts are dropped and counted). The
+	// next successful flush recovers.
+	consecFlushFails int
+	degraded         bool
+	flushRetries     uint64
+	droppedPuts      uint64
 }
+
+// degradedPendingCap bounds pending growth while degraded, as a multiple
+// of the flush batch.
+const degradedPendingCap = 4
 
 // Open opens (or initializes) the state directory and replays its
 // contents into the in-memory index. A corrupt journal tail is truncated
@@ -397,7 +429,8 @@ func (s *Store) getDurable(id recID) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
-	for attempt := 0; attempt < 2; attempt++ {
+	sameLocFails := 0
+	for attempt := 0; attempt < 3; attempt++ {
 		d, err := s.readRecord(id, l)
 		if err == nil {
 			return d, true
@@ -409,14 +442,22 @@ func (s *Store) getDurable(id recID) ([]byte, bool) {
 			s.mu.Unlock()
 			return nil, false
 		case cur == l:
-			// The durable copy genuinely failed verification: drop it so
-			// the consumer recomputes and rewrites it.
-			delete(s.index, id)
-			s.ioErrors++
-			s.mu.Unlock()
-			return nil, false
+			// Evict only after two consecutive failures at the same loc:
+			// real corruption fails deterministically (the second read
+			// confirms it, and the consumer recomputes and rewrites),
+			// while a transient I/O blip — or an injected store.read
+			// fault — must not cost a live record.
+			sameLocFails++
+			if sameLocFails >= 2 {
+				delete(s.index, id)
+				s.ioErrors++
+				s.mu.Unlock()
+				return nil, false
+			}
+		default:
+			l = cur // moved by a concurrent compaction; retry there
+			sameLocFails = 0
 		}
-		l = cur // moved by a concurrent compaction; retry there
 		s.mu.Unlock()
 	}
 	return nil, false
@@ -427,6 +468,10 @@ func (s *Store) getDurable(id recID) ([]byte, bool) {
 // ReadAt carries no file-position state, and CAS files only ever appear
 // whole via rename — a stale loc fails verification, it cannot misread.
 func (s *Store) readRecord(id recID, l loc) ([]byte, error) {
+	fault.Delay(fault.StoreSlow)
+	if err := fault.Err(fault.StoreRead); err != nil {
+		return nil, err
+	}
 	if l.journal {
 		buf := make([]byte, l.n)
 		if _, err := s.journal.ReadAt(buf, l.off); err != nil {
@@ -457,6 +502,14 @@ func (s *Store) Put(kind Kind, key uint64, data []byte) {
 	id := recID{kind, key}
 	d := append([]byte(nil), data...) // callers may reuse their buffer
 	s.mu.Lock()
+	if s.degraded && len(s.pending) >= degradedPendingCap*s.opts.FlushBatch {
+		// Degraded mode: the disk is refusing writes, so pending would
+		// grow without bound. Shed the write — the caller's in-memory
+		// cache still holds the result; only durability is lost.
+		s.droppedPuts++
+		s.mu.Unlock()
+		return
+	}
 	if _, dup := s.pending[id]; !dup {
 		s.pendingOrder = append(s.pendingOrder, id)
 	}
@@ -551,12 +604,16 @@ func (s *Store) flushLocked() error {
 		at += int64(len(frame))
 		buf = append(buf, frame...)
 	}
-	_, werr := s.journal.WriteAt(buf, base)
-	if werr == nil {
-		werr = s.journal.Sync()
-	}
+	// Append with a short bounded retry: disk hiccups (and injected
+	// write/fsync faults) are usually transient, and a rewrite at the
+	// same base offset is idempotent — a torn first attempt is simply
+	// overwritten by the retry before anything references it.
+	stats, werr := flushRetryPolicy.Do(func() error {
+		return resilience.MarkTransient(s.appendBatch(buf, base))
+	})
 
 	s.mu.Lock()
+	s.flushRetries += uint64(stats.Retries)
 	if werr != nil {
 		// Keep the batch pending so nothing is silently lost; merge it
 		// under any newer puts (newer wins).
@@ -568,9 +625,11 @@ func (s *Store) flushLocked() error {
 		}
 		s.inflight = map[recID][]byte{}
 		s.ioErrors++
+		s.noteFlushFailureLocked()
 		s.mu.Unlock()
 		return fmt.Errorf("store: journal append: %w", werr)
 	}
+	s.noteFlushSuccessLocked()
 	for id, l := range offs {
 		s.index[id] = l
 	}
@@ -584,6 +643,64 @@ func (s *Store) flushLocked() error {
 	s.flushes++
 	s.mu.Unlock()
 	return s.maybeCompact()
+}
+
+// flushRetryPolicy bounds the in-flush append retry. Short delays: the
+// flusher itself retries on its cadence, this only rides out blips.
+var flushRetryPolicy = resilience.RetryPolicy{
+	MaxAttempts: 3,
+	BaseDelay:   time.Millisecond,
+	MaxDelay:    10 * time.Millisecond,
+}
+
+// appendBatch writes one encoded batch at base and fsyncs. The
+// store.write.*, store.fsync and store.slow fault points live here:
+// torn writes land half the batch then fail, exactly the shape a crash
+// mid-append leaves on disk.
+func (s *Store) appendBatch(buf []byte, base int64) error {
+	fault.Delay(fault.StoreSlow)
+	if fault.Hit(fault.StoreTorn) {
+		_, _ = s.journal.WriteAt(buf[:len(buf)/2], base)
+		return &fault.Error{Point: fault.StoreTorn}
+	}
+	if err := fault.Err(fault.StoreWrite); err != nil {
+		return err
+	}
+	if _, err := s.journal.WriteAt(buf, base); err != nil {
+		return err
+	}
+	if err := fault.Err(fault.StoreFsync); err != nil {
+		return err
+	}
+	return s.journal.Sync()
+}
+
+// noteFlushFailureLocked / noteFlushSuccessLocked drive the degradation
+// ladder's bottom rung. Callers hold s.mu.
+func (s *Store) noteFlushFailureLocked() {
+	s.consecFlushFails++
+	if !s.degraded && s.consecFlushFails >= s.opts.DegradeAfter {
+		s.degraded = true
+		s.opts.logf("store: DEGRADED after %d consecutive flush failures; serving from memory, capping pending at %d records",
+			s.consecFlushFails, degradedPendingCap*s.opts.FlushBatch)
+	}
+}
+
+func (s *Store) noteFlushSuccessLocked() {
+	s.consecFlushFails = 0
+	if s.degraded {
+		s.degraded = false
+		s.opts.logf("store: recovered from degraded mode; flushes succeeding again")
+	}
+}
+
+// Degraded reports whether the store is in degraded, in-memory-only
+// mode (consecutive flush failures; see Options.DegradeAfter). Reads
+// keep working; writes beyond the pending cap are shed.
+func (s *Store) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
 }
 
 // maybeCompact runs compaction when the journal exceeds its budget.
@@ -651,7 +768,11 @@ func (s *Store) compactLocked() error {
 			continue
 		}
 		path := s.casPath(id)
-		if err := writeCASFile(path, id, payloads[i]); err != nil {
+		err := fault.Err(fault.StoreCAS)
+		if err == nil {
+			err = writeCASFile(path, id, payloads[i])
+		}
+		if err != nil {
 			s.mu.Lock()
 			s.ioErrors++
 			s.mu.Unlock()
@@ -736,6 +857,7 @@ type BriefStats struct {
 	Records    int     `json:"records"`
 	Pending    int     `json:"pending"`
 	FlushLagMS float64 `json:"flush_lag_ms"`
+	Degraded   bool    `json:"degraded"`
 }
 
 // Brief returns the health-check essentials at O(pending) cost —
@@ -746,7 +868,7 @@ type BriefStats struct {
 func (s *Store) Brief() BriefStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	b := BriefStats{Records: len(s.index)}
+	b := BriefStats{Records: len(s.index), Degraded: s.degraded}
 	for id := range s.pending {
 		b.Pending++
 		if _, durable := s.index[id]; !durable {
@@ -784,6 +906,9 @@ func (s *Store) Stats() Stats {
 		Flushes:            s.flushes,
 		Compactions:        s.compactions,
 		IOErrors:           s.ioErrors,
+		FlushRetries:       s.flushRetries,
+		Degraded:           s.degraded,
+		DroppedPuts:        s.droppedPuts,
 	}
 	// Records and ByKind count each live identity once, even when a key
 	// is both durable and re-Put (pending shadows the durable copy).
