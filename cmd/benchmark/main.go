@@ -61,6 +61,7 @@ func main() {
 	stateDir := flag.String("state-dir", "", "durable state directory: journal per-job results for -resume")
 	resume := flag.Bool("resume", false, "skip jobs already completed in -state-dir's journal (tables stay byte-identical)")
 	stages := flag.Bool("stages", false, "trace every agent job and print a per-stage latency table to stderr at exit")
+	coverage := flag.Bool("coverage", false, "print a per-problem reference-design toggle-coverage table to stderr at exit")
 	faultProfile := flag.String("fault-profile", "", `chaos testing: inject faults per "point:rate[:duration];..." (internal/fault); empty keeps output byte-identical`)
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 	flag.Parse()
@@ -92,6 +93,14 @@ func main() {
 			if table := trace.RenderStageTable(stageAgg.Snapshot()); table != "" {
 				fmt.Fprint(os.Stderr, table)
 			}
+		}()
+	}
+
+	// The coverage table, like -stages, is stderr-only at exit: stdout
+	// tables stay byte-identical with or without the flag.
+	if *coverage {
+		defer func() {
+			fmt.Fprint(os.Stderr, bench.RenderCoverage(bench.CoverageReport(*seed)))
 		}()
 	}
 

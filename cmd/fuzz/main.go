@@ -37,6 +37,8 @@ func main() {
 		dump      = flag.Bool("dump", false, "print each generated module before checking it")
 		quiet     = flag.Bool("quiet", false, "suppress progress lines")
 		aliasBias = flag.Float64("alias-bias", 0, "fraction of non-hazard statement draws redirected into alias-hazard shapes (0 = unbiased, byte-identical to older campaigns)")
+		coverage  = flag.Bool("coverage", false, "coverage-guided mode: track toggle/activation signatures, admit novelty into a corpus, log growth to stderr")
+		vcdDir    = flag.String("vcd", "", "directory to write a VCD waveform (windowed around the divergence) for each find")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 || *count <= 0 || *cycles <= 0 {
@@ -53,7 +55,13 @@ func main() {
 		Count:    *count,
 		Cycles:   *cycles,
 		Minimize: *minimize,
+		Coverage: *coverage,
 		Gen:      fuzz.GenConfig{AliasBias: *aliasBias},
+	}
+	if *coverage && !*quiet {
+		opts.CoverageLog = func(line string) {
+			fmt.Fprintf(os.Stderr, "fuzz: %s\n", line)
+		}
 	}
 	if !*quiet {
 		opts.ProgressEvery = 2000
@@ -81,6 +89,12 @@ func main() {
 				os.Exit(2)
 			}
 		}
+		if *vcdDir != "" {
+			if err := writeVCD(*vcdDir, d); err != nil {
+				fmt.Fprintf(os.Stderr, "fuzz: write vcd: %v\n", err)
+				os.Exit(2)
+			}
+		}
 	}
 	if len(finds) > 0 {
 		os.Exit(1)
@@ -97,4 +111,15 @@ func writeFind(dir string, d fuzz.Divergence) error {
 	}
 	body := fmt.Sprintf("mismatch: %s\n\n%s\n", d.Mismatch, d.TestCase)
 	return os.WriteFile(base+".txt", []byte(body), 0o644)
+}
+
+func writeVCD(dir string, d fuzz.Divergence) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	vcd, err := fuzz.CaptureVCD(d.Minimized, d.Cycles, d.Seed, 8)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, fmt.Sprintf("repro_seed_%d.vcd", d.Seed)), []byte(vcd), 0o644)
 }

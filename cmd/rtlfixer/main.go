@@ -31,8 +31,13 @@ import (
 	"runtime"
 	"time"
 
+	"path/filepath"
+	"strings"
+
 	"repro/internal/core"
+	"repro/internal/fuzz"
 	"repro/internal/pipeline"
+	"repro/internal/wave"
 )
 
 // demoSource is the paper's Fig. 5 erroneous implementation (task
@@ -69,6 +74,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel agent runs when fixing several files")
 	timeout := fs.Duration("timeout", 0, "per-file wall-clock budget (0 = none)")
 	cache := fs.Bool("cache", true, "enable the sharded memoization layer (output is identical either way)")
+	coverage := fs.Bool("coverage", false, "simulate each fixed design briefly and print its toggle coverage to stderr")
+	vcdDir := fs.String("vcd", "", "directory to write a VCD waveform dump of each fixed design's check run")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -151,6 +158,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "rtlfixer: %s: syntax errors remain after the iteration budget\n", names[i])
 			failed = true
 		}
+		// Observability rides on stderr / side files, so stdout stays
+		// byte-identical with the flags off.
+		if tr.Success && (*coverage || *vcdDir != "") {
+			observeFixed(stderr, names[i], tr.FinalCode, *coverage, *vcdDir)
+		}
 	}
 	// Cache counters go to stderr so stdout stays byte-deterministic.
 	if s := fixer.CacheStats(); *cache && !*quiet {
@@ -161,4 +173,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// observeFixed runs one fixed design through the differential simulation
+// path with the wave observers on: -coverage summarizes toggle coverage
+// to stderr, -vcd writes a full waveform dump named after the input.
+func observeFixed(stderr io.Writer, name, code string, wantCov bool, vcdDir string) {
+	if wantCov {
+		cov := wave.NewCoverage()
+		if _, err := fuzz.CheckSourceCov(code, 8, 1, cov); err != nil {
+			fmt.Fprintf(stderr, "rtlfixer: %s: coverage skipped: %v\n", name, err)
+		} else {
+			fmt.Fprintf(stderr, "rtlfixer: %s: %s\n", name, cov.Stats())
+		}
+	}
+	if vcdDir == "" {
+		return
+	}
+	if err := os.MkdirAll(vcdDir, 0o755); err != nil {
+		fmt.Fprintf(stderr, "rtlfixer: %v\n", err)
+		return
+	}
+	vcd, err := fuzz.CaptureVCD(code, 8, 1, 0)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtlfixer: %s: vcd skipped: %v\n", name, err)
+		return
+	}
+	base := strings.TrimSuffix(filepath.Base(name), filepath.Ext(name))
+	out := filepath.Join(vcdDir, base+".vcd")
+	if err := os.WriteFile(out, []byte(vcd), 0o644); err != nil {
+		fmt.Fprintf(stderr, "rtlfixer: %v\n", err)
+	}
 }

@@ -84,6 +84,7 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	logRequests := flag.Bool("log-requests", false, "write one structured access-log line per request to stderr")
 	simCheck := flag.Bool("sim-check", true, "simulate each fixed design for one clock cycle (stats + traces only)")
+	simObserve := flag.Bool("sim-observe", true, "attach toggle-coverage and engine-profile observers to sim checks (stats 'sim' section, rtlfixer_sim_* metrics)")
 	prewarm := flag.Bool("prewarm", true, "build the default fixer configuration before /v1/readyz turns ready")
 	faultProfile := flag.String("fault-profile", "", `chaos testing: inject faults per "point:rate[:duration];..." (see internal/fault)`)
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
@@ -127,22 +128,23 @@ func main() {
 		accessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	srv := server.New(server.Config{
-		Seed:            *seed,
-		MaxInFlight:     *maxInFlight,
-		QueueDepth:      qd,
-		MaxBatch:        *maxBatch,
-		BatchLinger:     *linger,
-		Workers:         *workers,
-		DefaultTimeout:  *defaultTimeout,
-		MaxTimeout:      *maxTimeout,
-		DisableCoalesce: !*coalesce,
-		DisableCache:    !*cache,
-		DisableSimCheck: !*simCheck,
-		Store:           st,
-		Logf:            logger.Printf,
-		Tracing:         tracer,
-		AccessLog:       accessLog,
-		Prewarm:         *prewarm,
+		Seed:              *seed,
+		MaxInFlight:       *maxInFlight,
+		QueueDepth:        qd,
+		MaxBatch:          *maxBatch,
+		BatchLinger:       *linger,
+		Workers:           *workers,
+		DefaultTimeout:    *defaultTimeout,
+		MaxTimeout:        *maxTimeout,
+		DisableCoalesce:   !*coalesce,
+		DisableCache:      !*cache,
+		DisableSimCheck:   !*simCheck,
+		DisableSimObserve: !*simObserve,
+		Store:             st,
+		Logf:              logger.Printf,
+		Tracing:           tracer,
+		AccessLog:         accessLog,
+		Prewarm:           *prewarm,
 	})
 
 	// The served handler is the server itself unless pprof is on, in

@@ -14,6 +14,8 @@
 //	vlint -severity all=error f.v     # escalate findings (affects exit code)
 //	vlint -json file.v                # machine-readable report
 //	vlint -print file.v               # pretty-print the parsed AST back
+//	vlint -coverage file.v            # also simulate; toggle coverage to stderr
+//	vlint -vcd out.vcd file.v         # also simulate; write the waveform dump
 //
 // Exit status is non-zero when any file fails to compile or carries an
 // error-severity finding.
@@ -30,7 +32,9 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/diag"
 	"repro/internal/sema"
+	"repro/internal/sim"
 	"repro/internal/verilog"
+	"repro/internal/wave"
 )
 
 // jsonPos mirrors diag.Pos with stable lowercase keys.
@@ -65,6 +69,8 @@ func main() {
 	rules := flag.String("rules", "", "comma-separated analyzer rules to run (codes or names; empty = all; 'list' prints the catalogue; 'none' disables the analyzer)")
 	severity := flag.String("severity", "", "comma-separated severity overrides, e.g. 'all=error' or 'L001=error,unused-signal=warning'")
 	asJSON := flag.Bool("json", false, "emit one JSON array of per-file reports (frontend diagnostics + analyzer findings)")
+	coverage := flag.Bool("coverage", false, "simulate each elaborable file briefly and print its toggle-coverage summary to stderr")
+	vcdOut := flag.String("vcd", "", "simulate each elaborable file briefly and write a VCD waveform dump to this path (multi-file runs append the file index)")
 	flag.Parse()
 
 	if *rules == "list" {
@@ -87,7 +93,7 @@ func main() {
 
 	failed := false
 	var reports []jsonReport
-	for _, name := range flag.Args() {
+	for i, name := range flag.Args() {
 		data, err := os.ReadFile(name)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vlint: %v\n", err)
@@ -112,6 +118,9 @@ func main() {
 		}
 		if findings.HasErrors() {
 			failed = true
+		}
+		if (*coverage || *vcdOut != "") && design != nil {
+			observeRun(name, src, design, *coverage, vcdPath(*vcdOut, i, flag.NArg()))
 		}
 
 		if *asJSON {
@@ -169,6 +178,66 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// observeRun is the -coverage/-vcd dynamic pass: simulate the design
+// for a few cycles through the differential path with wave observers
+// attached. Best-effort — designs the sim frontend rejects are reported
+// and skipped, never failing the lint.
+func observeRun(name, src string, design *sema.Design, wantCov bool, vcdFile string) {
+	var cov *wave.Coverage
+	var rec *wave.Recorder
+	if wantCov {
+		cov = wave.NewCoverage()
+	}
+	if vcdFile != "" {
+		rec = wave.NewRecorder(0) // unbounded: dump the whole run
+	}
+	if _, err := sim.DiffSource(src, sim.DiffConfig{
+		Clock:    clockInput(design),
+		Cycles:   8,
+		Seed:     1,
+		Coverage: cov,
+		Recorder: rec,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "vlint: %s: simulation skipped: %v\n", name, err)
+		return
+	}
+	if cov != nil {
+		fmt.Fprintf(os.Stderr, "vlint: %s: %s\n", name, cov.Stats())
+	}
+	if rec != nil {
+		if err := os.WriteFile(vcdFile, []byte(rec.VCD()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "vlint: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// clockInput finds the design's clock-looking input port, if any.
+func clockInput(d *sema.Design) string {
+	for _, in := range d.Inputs() {
+		switch strings.ToLower(in.Name) {
+		case "clk", "clock":
+			return in.Name
+		}
+	}
+	return ""
+}
+
+// vcdPath derives the per-file -vcd output path: the path as given for
+// single-file runs, path with a .N index suffix before the extension
+// for multi-file runs.
+func vcdPath(out string, i, n int) string {
+	if out == "" || n == 1 {
+		return out
+	}
+	ext := ".vcd"
+	base := strings.TrimSuffix(out, ext)
+	if base == out {
+		ext = ""
+	}
+	return fmt.Sprintf("%s.%d%s", base, i, ext)
 }
 
 // analyzerOptions validates -rules/-severity into analyze.Options.

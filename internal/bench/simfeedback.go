@@ -10,6 +10,8 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fixer"
 	"repro/internal/llm"
+	"repro/internal/sim"
+	"repro/internal/wave"
 )
 
 // This file reproduces the paper's §5 discussion ("Challenges in
@@ -128,6 +130,32 @@ func passes(p *dataset.Problem, code string, vecSeed int64) bool {
 	return err == nil && r.Passed()
 }
 
+// SimFeedbackText renders the paper-style simulation feedback for a
+// failing candidate: the mismatch summary plus a bounded VCD excerpt
+// windowed around the first mismatch — the text an agent iteration sees.
+// It draws only from a vecSeed-derived generator, so callers inside a
+// seeded experiment consume nothing from their campaign RNG. Empty when
+// the candidate does not compile, errors out, or actually passes.
+func SimFeedbackText(p *dataset.Problem, code string, vecSeed int64) string {
+	clean := fixer.Fix(code).Code
+	if _, design, _ := compiler.Frontend(clean); design == nil {
+		return ""
+	}
+	rec := wave.NewRecorder(8)
+	r, err := p.CheckObserved(clean, rand.New(rand.NewSource(vecSeed)), sim.TBObserve{Recorder: rec})
+	if err != nil || r.Passed() {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "simulation failed: %d mismatches over %d cycles; first: %s\n",
+		r.Mismatches, r.Cycles, r.FirstMismatch)
+	if r.Waveform != "" {
+		b.WriteString("waveform excerpt around the first mismatch:\n")
+		b.WriteString(r.Waveform)
+	}
+	return b.String()
+}
+
 // simRepairLoop models the paper's attempt: show the model the mismatch
 // summary, let it revise, resimulate. Crucially the model does NOT get an
 // oracle over candidate edits — the paper's observation is precisely that
@@ -148,6 +176,13 @@ func simRepairLoop(p *dataset.Problem, code string, persona llm.Persona, vecSeed
 	}
 	if rng.Float64() > pComprehend {
 		return code
+	}
+	// The comprehending model is shown the mismatch summary plus a
+	// waveform excerpt around the first failing cycle. The feedback is
+	// built from the vecSeed stream only, so the campaign RNG (and with
+	// it every published rate) is untouched by observability.
+	if feedback := SimFeedbackText(p, code, vecSeed); feedback == "" {
+		return code // errored rather than mismatched: nothing actionable
 	}
 	cur := code
 	for attempt := 0; attempt < simRepairAttempts; attempt++ {

@@ -148,6 +148,14 @@ func randomVec(rng *rand.Rand, width int) bitvec.Vec {
 // frontend and engine lowering — is amortized through the package cache,
 // so rechecking a seen candidate costs only the simulation itself.
 func (p *Problem) Check(candidate string, rng *rand.Rand) (sim.TBResult, error) {
+	return p.CheckObserved(candidate, rng, sim.TBObserve{})
+}
+
+// CheckObserved is Check with simulation-layer observability attached
+// for the run: a waveform recorder (marked at the first mismatch),
+// toggle/activity coverage, or an engine execution profile. A zero
+// TBObserve makes it identical to Check.
+func (p *Problem) CheckObserved(candidate string, rng *rand.Rand, obs sim.TBObserve) (sim.TBResult, error) {
 	prog, design, diags := oracle.Program(candidate)
 	if design == nil {
 		return sim.TBResult{}, fmt.Errorf("candidate does not compile: %s", diags.Summary())
@@ -168,7 +176,7 @@ func (p *Problem) Check(candidate string, rng *rand.Rand) (sim.TBResult, error) 
 			return sim.TBResult{}, err
 		}
 	}
-	return sim.RunTestbenchSim(s, p.Clock, vectors, p.NewGolden())
+	return sim.RunTestbenchObserved(s, p.Clock, vectors, p.NewGolden(), obs)
 }
 
 // ---------- suite access ----------

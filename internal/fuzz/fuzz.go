@@ -8,6 +8,7 @@ import (
 	"repro/internal/analyze"
 	"repro/internal/diag"
 	"repro/internal/sim"
+	"repro/internal/wave"
 )
 
 // Options configures one differential campaign.
@@ -27,12 +28,21 @@ type Options struct {
 	// modules (and at the end).
 	Progress      func(done int, stats Stats)
 	ProgressEvery int
+	// Coverage turns on coverage guidance: every checked module's
+	// engine-side toggle/activity signature is unioned into a corpus
+	// signature, and modules that add new coverage points are admitted
+	// to the corpus (Stats.Corpus, Stats.CoveragePoints).
+	Coverage bool
+	// CoverageLog, when non-nil with Coverage on, receives a line for
+	// every corpus admission — the campaign's coverage-growth trail.
+	CoverageLog func(line string)
 }
 
 // Divergence records one walker-vs-engine disagreement found by a
 // campaign.
 type Divergence struct {
 	Seed     int64  // generator seed that produced the module
+	Cycles   int    // input vectors the diverging run used (replay key)
 	Source   string // the generated (pre-minimization) module
 	Mismatch string // first mismatch, human-readable
 	// Minimized is the shrunk module (equal to Source when
@@ -69,6 +79,13 @@ type Stats struct {
 	// analyzer rule found nothing wrong with (high-priority finds).
 	CleanDiverged int
 	Elapsed       time.Duration
+	// Coverage-guided campaign tallies (zero unless Options.Coverage):
+	// Corpus counts admitted modules, CoveragePoints the corpus
+	// signature's set bits. CoverageOn marks that guidance ran, so
+	// String only grows new fields when the mode is on.
+	Corpus         int
+	CoveragePoints int
+	CoverageOn     bool
 }
 
 // Rate returns modules checked per second.
@@ -80,8 +97,12 @@ func (s Stats) Rate() float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("generated=%d checked=%d skipped=%d diverged=%d (clean=%d) elapsed=%s rate=%.0f/s",
+	base := fmt.Sprintf("generated=%d checked=%d skipped=%d diverged=%d (clean=%d) elapsed=%s rate=%.0f/s",
 		s.Generated, s.Checked, s.Skipped, s.Diverged, s.CleanDiverged, s.Elapsed.Round(time.Millisecond), s.Rate())
+	if s.CoverageOn {
+		base += fmt.Sprintf(" corpus=%d coverage=%d", s.Corpus, s.CoveragePoints)
+	}
+	return base
 }
 
 // Run executes the campaign and returns its stats plus every
@@ -96,16 +117,35 @@ func Run(opts Options) (Stats, []Divergence) {
 	start := time.Now()
 	var stats Stats
 	var finds []Divergence
+	stats.CoverageOn = opts.Coverage
+	var corpus wave.Signature
 	for n := 0; n < opts.Count; n++ {
 		seed := opts.Seed + int64(n)
 		src := GenerateWith(seed, opts.Gen)
 		stats.Generated++
-		rep, err := CheckSource(src, opts.Cycles, seed)
+		var cov *wave.Coverage
+		if opts.Coverage {
+			cov = wave.NewCoverage()
+		}
+		rep, err := CheckSourceCov(src, opts.Cycles, seed, cov)
 		if err != nil {
 			stats.Skipped++
 			continue
 		}
 		stats.Checked++
+		if cov != nil {
+			// Corpus admission: keep the module when its signature adds
+			// coverage points no earlier module exercised.
+			if sig := cov.Signature(); corpus.Union(sig) {
+				stats.Corpus++
+				prev := stats.CoveragePoints
+				stats.CoveragePoints = corpus.Count()
+				if opts.CoverageLog != nil {
+					opts.CoverageLog(fmt.Sprintf("corpus+ seed=%d coverage=%d (+%d)",
+						seed, stats.CoveragePoints, stats.CoveragePoints-prev))
+				}
+			}
+		}
 		if opts.Progress != nil && (n+1)%opts.ProgressEvery == 0 {
 			stats.Elapsed = time.Since(start)
 			opts.Progress(n+1, stats)
@@ -116,6 +156,7 @@ func Run(opts Options) (Stats, []Divergence) {
 		stats.Diverged++
 		div := Divergence{
 			Seed:      seed,
+			Cycles:    opts.Cycles,
 			Source:    src,
 			Mismatch:  rep.First().String(),
 			Minimized: src,
@@ -151,11 +192,36 @@ func AliasFindingsFor(src string) diag.List {
 // The error marks a frontend/compile rejection (campaigns count it as
 // a skip); divergence is reported via the DiffReport.
 func CheckSource(src string, cycles int, seed int64) (*sim.DiffReport, error) {
+	return CheckSourceCov(src, cycles, seed, nil)
+}
+
+// CheckSourceCov is CheckSource with optional toggle-coverage
+// accumulation from the engine side of the differential run.
+func CheckSourceCov(src string, cycles int, seed int64, cov *wave.Coverage) (*sim.DiffReport, error) {
 	return sim.DiffSource(src, sim.DiffConfig{
-		Clock:  DetectClock(src),
-		Cycles: cycles,
-		Seed:   seed,
+		Clock:    DetectClock(src),
+		Cycles:   cycles,
+		Seed:     seed,
+		Coverage: cov,
 	})
+}
+
+// CaptureVCD re-runs one module through the differential path with a
+// waveform recorder attached and returns the VCD text, windowed around
+// the first engine/oracle divergence when one occurs (full bounded
+// trace otherwise). Used by fuzz -vcd to ship a wave dump next to each
+// minimized repro.
+func CaptureVCD(src string, cycles int, seed int64, window int) (string, error) {
+	rec := wave.NewRecorder(window)
+	if _, err := sim.DiffSource(src, sim.DiffConfig{
+		Clock:    DetectClock(src),
+		Cycles:   cycles,
+		Seed:     seed,
+		Recorder: rec,
+	}); err != nil {
+		return "", err
+	}
+	return rec.VCD(), nil
 }
 
 // DetectClock returns "clk" when the module declares a clk input, else

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -213,5 +214,43 @@ func TestCampaignReportsAnalyzerVerdict(t *testing.T) {
 	}
 	if clean != stats.CleanDiverged {
 		t.Fatalf("CleanDiverged=%d, counted %d", stats.CleanDiverged, clean)
+	}
+}
+
+// TestCoverageGuided runs a short coverage-guided campaign and asserts
+// the corpus signature grows monotonically and ends nonzero.
+func TestCoverageGuided(t *testing.T) {
+	var growth []int
+	stats, _ := Run(Options{
+		Seed: 0, Count: 60, Cycles: 6, Coverage: true,
+		CoverageLog: func(line string) {
+			var seed int64
+			var cov, delta int
+			if _, err := fmt.Sscanf(line, "corpus+ seed=%d coverage=%d (+%d)", &seed, &cov, &delta); err != nil {
+				t.Fatalf("unparseable coverage log line %q: %v", line, err)
+			}
+			growth = append(growth, cov)
+		},
+	})
+	if !stats.CoverageOn || stats.Corpus == 0 || stats.CoveragePoints == 0 {
+		t.Fatalf("coverage guidance produced nothing: %+v", stats)
+	}
+	if len(growth) != stats.Corpus {
+		t.Fatalf("%d log lines for %d admissions", len(growth), stats.Corpus)
+	}
+	for i := 1; i < len(growth); i++ {
+		if growth[i] <= growth[i-1] {
+			t.Fatalf("corpus coverage not monotonically increasing: %v", growth)
+		}
+	}
+	if growth[len(growth)-1] != stats.CoveragePoints {
+		t.Fatalf("final log %d != stats %d", growth[len(growth)-1], stats.CoveragePoints)
+	}
+	if !strings.Contains(stats.String(), "corpus=") {
+		t.Fatalf("Stats.String missing corpus tallies: %s", stats)
+	}
+	// The default (unguided) rendering must stay byte-stable.
+	if strings.Contains((Stats{}).String(), "corpus=") {
+		t.Fatal("unguided Stats.String must not mention corpus")
 	}
 }

@@ -93,10 +93,14 @@ func NewHistogram(start, factor float64, n int) *Histogram {
 // finite edge sits just above the server's 2-minute deadline clamp.
 func NewLatencyHistogram() *Histogram { return NewHistogram(0.25, 2, 20) }
 
-// Observe records one value.
+// Observe records one value. Negative and NaN observations clamp to
+// zero rather than poisoning the aggregate: a clock step backwards (NTP
+// slew mid-request) or an arithmetic slip upstream should read as "a
+// very fast event", not skew sum/min or vanish silently — the count
+// must keep matching the number of events that actually happened.
 func (h *Histogram) Observe(v float64) {
-	if math.IsNaN(v) {
-		return
+	if math.IsNaN(v) || v < 0 {
+		v = 0
 	}
 	i := h.bucketFor(v)
 	h.mu.Lock()

@@ -173,3 +173,26 @@ func TestNewHistogramPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestHistogramObserveClampsInvalid(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(-5)
+	h.Observe(math.NaN())
+	h.Observe(2)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3 (invalid observations must still count)", s.Count)
+	}
+	if s.Min != 0 {
+		t.Fatalf("min = %v, want 0 (clamped)", s.Min)
+	}
+	if s.Sum != 2 {
+		t.Fatalf("sum = %v, want 2 (clamped values contribute zero)", s.Sum)
+	}
+	if s.Max != 2 {
+		t.Fatalf("max = %v, want 2", s.Max)
+	}
+	if math.IsNaN(s.P50) || math.IsNaN(s.P99) {
+		t.Fatalf("quantiles poisoned by NaN observation: p50=%v p99=%v", s.P50, s.P99)
+	}
+}

@@ -105,6 +105,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{Labels: []metrics.PromLabel{{Name: "result", Value: "watchdog"}}, Value: float64(st.simWatchdog.Value())},
 	})
 
+	if s.simObs != nil {
+		frac, runs, toggles, instructions := s.simObs.coverageGauge()
+		p.Gauge("rtlfixer_sim_toggle_coverage", "Toggle+activation coverage fraction of the latest observed sim check.", frac)
+		p.Counter("rtlfixer_sim_observed_runs_total", "Sim smoke checks run with coverage observation attached.", runs)
+		p.Counter("rtlfixer_sim_toggles_total", "Signal bit-toggle events across observed sim checks.", toggles)
+		p.Counter("rtlfixer_sim_instructions_total", "Compiled-engine instructions executed across observed sim checks.", instructions)
+	}
+
 	// Resilience plane.
 	p.CounterVec("rtlfixer_panics_recovered_total", "Panics recovered by bulkhead site.", []metrics.PromSample{
 		{Labels: []metrics.PromLabel{{Name: "site", Value: "http"}}, Value: float64(st.panicsHTTP.Value())},

@@ -6,7 +6,9 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -278,5 +280,179 @@ func TestSimCheckDisabled(t *testing.T) {
 	}
 	if snap := s.Stats(); snap.SimCheck.Checked != 0 {
 		t.Fatalf("disabled sim check ran: %+v", snap.SimCheck)
+	}
+}
+
+// TestStatsSimObservability: with the sim check and observation on
+// (both defaults), a successful fix leaves nonzero toggle coverage in
+// the /v1/stats "sim" section and the rtlfixer_sim_* families on
+// /metrics — the serving half of the wave-layer acceptance gate.
+func TestStatsSimObservability(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if status, _ := postFix(t, ts.URL, map[string]any{"source": brokenSource}); status != http.StatusOK {
+		t.Fatal("fix failed")
+	}
+	snap := s.Stats()
+	if snap.Sim == nil {
+		t.Fatal("stats missing sim observability section")
+	}
+	if snap.Sim.Runs == 0 || snap.Sim.Samples == 0 {
+		t.Fatalf("sim check ran unobserved: %+v", snap.Sim)
+	}
+	// The smoke check pulses the clock, so at minimum clk rose and fell
+	// and the sequential process fired.
+	if snap.Sim.Toggles == 0 || snap.Sim.LastCoveredPoints == 0 || snap.Sim.LastFraction <= 0 {
+		t.Fatalf("zero toggle coverage from a clocked smoke check: %+v", snap.Sim)
+	}
+	if snap.Sim.LastProcsActive == 0 {
+		t.Fatalf("no process activations recorded: %+v", snap.Sim)
+	}
+	// The fixed design compiles, so the engine profile must be live too.
+	if snap.Sim.Instructions == 0 || snap.Sim.Settles == 0 || len(snap.Sim.TopOps) == 0 {
+		t.Fatalf("compiled-engine profile empty: %+v", snap.Sim)
+	}
+
+	// Wire form: the "sim" key is present with the same numbers.
+	var wire struct {
+		Sim *SimObsSnapshot `json:"sim"`
+	}
+	_, raw := get(t, ts.URL+"/v1/stats")
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Sim == nil || wire.Sim.Runs != snap.Sim.Runs {
+		t.Fatalf("wire sim section = %+v, want runs %d", wire.Sim, snap.Sim.Runs)
+	}
+
+	_, raw = get(t, ts.URL+"/metrics")
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE rtlfixer_sim_toggle_coverage gauge",
+		"rtlfixer_sim_observed_runs_total 1",
+		"rtlfixer_sim_toggles_total",
+		"rtlfixer_sim_instructions_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	// The gauge must be a parseable nonzero fraction.
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "rtlfixer_sim_toggle_coverage ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, "rtlfixer_sim_toggle_coverage "), 64)
+		if err != nil || v <= 0 || v > 1 {
+			t.Fatalf("bad coverage gauge %q: %v", line, err)
+		}
+		return
+	}
+	t.Fatal("rtlfixer_sim_toggle_coverage sample line absent")
+}
+
+// TestSimObserveDisabled: DisableSimObserve keeps the smoke check but
+// drops the observability plane — stats omit "sim" entirely.
+func TestSimObserveDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{DisableSimObserve: true})
+	if status, _ := postFix(t, ts.URL, map[string]any{"source": brokenSource}); status != http.StatusOK {
+		t.Fatal("fix failed")
+	}
+	snap := s.Stats()
+	if snap.SimCheck.Checked != 1 {
+		t.Fatalf("sim check should still run: %+v", snap.SimCheck)
+	}
+	if snap.Sim != nil {
+		t.Fatalf("disabled observation still reported: %+v", snap.Sim)
+	}
+	var wire map[string]json.RawMessage
+	_, raw := get(t, ts.URL+"/v1/stats")
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := wire["sim"]; ok {
+		t.Fatalf("stats JSON carries top-level sim section when disabled:\n%s", raw)
+	}
+}
+
+// TestStagesJSONPipelineOrder: the /v1/stats "stages" object must
+// marshal its keys in pipeline order (trace.StageNames), not Go's
+// alphabetical map order, so the JSON reads like the attribution table.
+func TestStagesJSONPipelineOrder(t *testing.T) {
+	c := trace.NewCollector(0, 0, 0)
+	_, ts := newTestServer(t, Config{Tracing: c})
+	if status, _ := postFix(t, ts.URL, map[string]any{"source": brokenSource}); status != http.StatusOK {
+		t.Fatal("fix failed")
+	}
+	var wire struct {
+		Stages json.RawMessage `json:"stages"`
+	}
+	_, raw := get(t, ts.URL+"/v1/stats")
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatal(err)
+	}
+	var stages map[string]metrics.HistogramSnapshot
+	if err := json.Unmarshal(wire.Stages, &stages); err != nil {
+		t.Fatal(err)
+	}
+	want := trace.StageNames(stages)
+	if len(want) < 5 {
+		t.Fatalf("too few stages to check ordering: %v", want)
+	}
+	// Histogram snapshot values never contain stage-name keys, so the
+	// first occurrence of each `"name":` marks its position.
+	text := string(wire.Stages)
+	last := -1
+	for _, name := range want {
+		idx := strings.Index(text, `"`+name+`":`)
+		if idx < 0 {
+			t.Fatalf("stage %q absent from stages JSON", name)
+		}
+		if idx <= last {
+			t.Fatalf("stages JSON out of pipeline order at %q; want %v in:\n%s", name, want, text)
+		}
+		last = idx
+	}
+}
+
+// TestConcurrentMetricsScrapes races /metrics and /v1/stats scrapes
+// against live fix traffic — under -race this is the data-race gate for
+// the whole monitoring plane, including the new sim family.
+func TestConcurrentMetricsScrapes(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tracing: trace.NewCollector(0, 0, 0)})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			src := brokenSource
+			if n%2 == 0 {
+				src = cleanSource
+			}
+			for j := 0; j < 3; j++ {
+				postFix(t, ts.URL, map[string]any{"source": src})
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				resp, _ := get(t, ts.URL+"/metrics")
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("metrics status = %d", resp.StatusCode)
+				}
+				resp, _ = get(t, ts.URL+"/v1/stats")
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("stats status = %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// After the dust settles the sim family reflects the observed runs.
+	_, raw := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(raw), "rtlfixer_sim_observed_runs_total") {
+		t.Fatal("sim family absent after concurrent traffic")
 	}
 }

@@ -115,6 +115,13 @@ type Config struct {
 	// simulation engine). The response body is unchanged either way;
 	// outcomes surface in /v1/stats and on the request trace.
 	DisableSimCheck bool
+	// DisableSimObserve turns off simulation-layer observability on the
+	// smoke check (waveform-less toggle coverage plus, on the compiled
+	// backend, the engine profile). On by default whenever the sim check
+	// runs; results surface under /v1/stats "sim" and the
+	// rtlfixer_sim_* metrics families. Responses are unchanged either
+	// way.
+	DisableSimObserve bool
 	// AccessLog, when non-nil, receives one structured record per HTTP
 	// request (request id, method, path, status, duration). Request IDs
 	// honor an incoming X-Request-ID header and are echoed back on the
@@ -248,6 +255,9 @@ type Server struct {
 	// simCache backs the post-fix simulation smoke check (nil when
 	// disabled); shared across requests like the fixer pool's caches.
 	simCache *memo.SimCache
+	// simObs aggregates sim-check coverage and engine profiles
+	// (simobs.go); nil when the check or its observability is off.
+	simObs *simObs
 	// reqSeq numbers requests that arrive without an X-Request-ID.
 	reqSeq atomic.Uint64
 }
@@ -280,6 +290,9 @@ func New(cfg Config) *Server {
 	}
 	if !cfg.DisableSimCheck {
 		s.simCache = memo.NewSimCache(0)
+		if !cfg.DisableSimObserve {
+			s.simObs = newSimObs()
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/fix", s.handleFix)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/sema"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/wave"
 )
 
 // Watchdog budgets for one smoke check: the settle-plus-one-pulse run is
@@ -76,6 +77,26 @@ func (s *Server) runSimCheck(tr *agent.Transcript, parent *trace.Span) {
 	}
 
 	sm.SetWatchdog(resilience.NewWatchdog(simCheckWall, simCheckSteps))
+	if s.simObs != nil {
+		// Observe the check regardless of outcome: coverage on both
+		// backends, the execution profile on the compiled engine. The
+		// fold runs deferred so watchdog/settle exits still report.
+		cov := wave.NewCoverage()
+		sm.Observe(cov)
+		profiled := sm.EnableProfile()
+		if !profiled {
+			sm.EnableActivations()
+		}
+		defer func() {
+			cov.AddActivations(sm.Activations())
+			var prof *wave.EngineProfile
+			if profiled {
+				prof = sm.Profile()
+			}
+			s.simObs.fold(cov, prof)
+			sp.SetStr("coverage", cov.Stats().String())
+		}()
+	}
 	if err := sm.Settle(); err != nil {
 		if resilience.IsWatchdog(err) {
 			sp.SetStr("result", "watchdog")

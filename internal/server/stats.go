@@ -229,11 +229,18 @@ type StatsSnapshot struct {
 	// and fire counters — the chaos harness asserts determinism on these.
 	Faults map[string]fault.PointStats `json:"faults,omitempty"`
 
+	// Sim, present when the sim check runs with observability on, is
+	// the simulation-layer aggregate: toggle coverage of the observed
+	// checks plus the compiled engine's execution-profile tallies.
+	Sim *SimObsSnapshot `json:"sim,omitempty"`
+
 	// Stages, present when tracing is on, is the per-stage latency
 	// breakdown folded from finished request traces — one histogram per
 	// span name (fix, queue, run, agent, iteration, compile, rag, llm,
-	// sim). loadgen -stages renders this as a table.
-	Stages map[string]metrics.HistogramSnapshot `json:"stages,omitempty"`
+	// sim). Keys marshal in pipeline order (trace.StageNames), so the
+	// JSON object order matches the attribution table. loadgen -stages
+	// renders this as a table.
+	Stages trace.OrderedStages `json:"stages,omitempty"`
 
 	// Trace, present when tracing is on, is the trace collector's
 	// occupancy (ring fill, slow tier, totals).
@@ -343,8 +350,10 @@ func (s *Server) Stats() StatsSnapshot {
 	snap.Resilience.Breakers = s.breakerSnapshots()
 	snap.Faults = fault.Snapshot()
 
+	snap.Sim = s.simObs.snapshot()
+
 	if s.stages != nil {
-		snap.Stages = s.stages.Snapshot()
+		snap.Stages = trace.OrderedStages(s.stages.Snapshot())
 	}
 	if s.tracer != nil {
 		occ := s.tracer.Occupancy()

@@ -129,6 +129,35 @@ type constEntry struct {
 
 type loopMeta struct{ line int }
 
+// procMeta attributes one compiled process (a nodes or seq entry) back to
+// the design for profiling: kind is "assign", "comb", or "seq"; line is
+// the source line the process starts on. Processes index nodes first,
+// then seq blocks — the same order the engine's activation counters use.
+type procMeta struct {
+	kind string
+	line int
+}
+
+// opNames maps opcodes to the short names profiling histograms report.
+// Indexed by opcode, so the array length is also the opcode count.
+var opNames = [...]string{
+	opCopy: "copy", opZeroReg: "zero", opAnd: "and", opOr: "or",
+	opXor: "xor", opXnor: "xnor", opNot: "not", opNeg: "neg",
+	opAdd: "add", opSub: "sub", opMul: "mul", opDiv: "div", opMod: "mod",
+	opShl: "shl", opShr: "shr", opEq: "eq", opNe: "ne", opLt: "lt",
+	opGt: "gt", opLe: "le", opGe: "ge", opLAnd: "land", opLOr: "lor",
+	opLNot: "lnot", opRedAnd: "redand", opRedOr: "redor",
+	opRedXor: "redxor", opRedNand: "rednand", opRedNor: "rednor",
+	opRedXnor: "redxnor", opPopCnt: "popcnt", opClog2: "clog2",
+	opConcat: "concat", opRepeatC: "repeat", opBitGetC: "bitgetc",
+	opBitGet: "bitget", opSliceC: "slicec", opSliceDyn: "slicedyn",
+	opStore: "store", opStoreBitC: "storebitc", opStoreBit: "storebit",
+	opStoreSliceC: "storeslicec", opStoreSliceDyn: "storeslicedyn",
+	opNbaQueue: "nbaqueue", opNbaVal: "nbaval", opJump: "jump",
+	opJumpIfZ: "jumpifz", opJumpIfNZ: "jumpifnz",
+	opLoopInit: "loopinit", opLoopGuard: "loopguard",
+}
+
 type edgeKey struct {
 	slot int32
 	edge verilog.EventEdge
@@ -164,6 +193,9 @@ type Program struct {
 	edges   map[edgeKey][]int32
 	frags   [][]instr // NBA apply fragments
 	loops   []loopMeta
+	// procs attributes processes for profiling: one entry per nodes
+	// element followed by one per seq element.
+	procs []procMeta
 }
 
 // Design returns the elaborated design the program was compiled from.
@@ -361,17 +393,20 @@ func (c *compiler) run() {
 		c.compileAssignTo(a.LHS, v)
 		p.nodes = append(p.nodes, c.take())
 		p.tracked = append(p.tracked, nil)
+		p.procs = append(p.procs, procMeta{kind: "assign", line: a.Pos().Line})
 	}
 	for _, blk := range comb {
 		c.locals = map[string]int32{}
 		c.compileStmt(blk.Body)
 		p.nodes = append(p.nodes, c.take())
 		p.tracked = append(p.tracked, c.snapshotSlots(blk))
+		p.procs = append(p.procs, procMeta{kind: "comb", line: blk.Pos().Line})
 	}
 	for bi, blk := range seqB {
 		c.locals = map[string]int32{}
 		c.compileStmt(blk.Body)
 		p.seq = append(p.seq, c.take())
+		p.procs = append(p.procs, procMeta{kind: "seq", line: blk.Pos().Line})
 		for _, ev := range blk.Events {
 			id, ok := ev.Signal.(*verilog.Ident)
 			if !ok || ev.Edge == verilog.EdgeNone {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/sema"
 	"repro/internal/verilog"
+	"repro/internal/wave"
 )
 
 // This file is the single walker-vs-engine comparison path shared by the
@@ -28,6 +29,14 @@ type DiffConfig struct {
 	// MaxMismatches bounds how many mismatches are recorded before the
 	// run stops. Zero defaults to 1 (stop at first divergence).
 	MaxMismatches int
+	// Coverage, when non-nil, accumulates toggle/activity coverage from
+	// the engine side of the run — the signal the coverage-guided fuzzer
+	// feeds on.
+	Coverage *wave.Coverage
+	// Recorder, when non-nil, captures an engine-side waveform; it is
+	// marked at the first divergence, so a bounded recorder yields the
+	// window around it.
+	Recorder *wave.Recorder
 }
 
 // Mismatch is one signal disagreement between the two backends.
@@ -105,6 +114,20 @@ func DiffDesign(design *sema.Design, cfg DiffConfig) (*DiffReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("walker: %w", err)
 	}
+	var parts []wave.Observer
+	if cfg.Recorder != nil {
+		parts = append(parts, cfg.Recorder)
+	}
+	if cfg.Coverage != nil {
+		parts = append(parts, cfg.Coverage)
+	}
+	if obs := wave.Multi(parts...); obs != nil {
+		eng.Observe(obs)
+	}
+	if cfg.Coverage != nil {
+		eng.EnableActivations()
+		defer func() { cfg.Coverage.AddActivations(eng.Activations()) }()
+	}
 
 	// Sorted signal order keeps mismatch reporting deterministic
 	// across runs — essential for the minimizer's re-check loop.
@@ -161,6 +184,9 @@ func DiffDesign(design *sema.Design, cfg DiffConfig) (*DiffReport, error) {
 				rep.Mismatches = append(rep.Mismatches, Mismatch{
 					Cycle: cyc, Signal: name, Engine: ev.Hex(), Walker: wv.Hex(),
 				})
+				if cfg.Recorder != nil {
+					cfg.Recorder.Mark()
+				}
 				if len(rep.Mismatches) >= cfg.MaxMismatches {
 					return rep, nil
 				}
@@ -177,6 +203,9 @@ func DiffDesign(design *sema.Design, cfg DiffConfig) (*DiffReport, error) {
 			rep.Mismatches = append(rep.Mismatches, Mismatch{
 				Cycle: rep.Cycles, Signal: name, Engine: ev.Hex(), Walker: wv.Hex(), Final: true,
 			})
+			if cfg.Recorder != nil {
+				cfg.Recorder.Mark()
+			}
 			if len(rep.Mismatches) >= cfg.MaxMismatches {
 				return rep, nil
 			}

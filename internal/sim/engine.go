@@ -13,6 +13,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/resilience"
 	"repro/internal/verilog"
+	"repro/internal/wave"
 )
 
 type engine struct {
@@ -37,9 +38,87 @@ type engine struct {
 	// wd, when armed via Simulator.SetWatchdog, is checked inside the
 	// settle fixpoint so a runaway group is canceled mid-settle.
 	wd *resilience.Watchdog
+	// Profiling counters, nil unless enabled via the facade. Every hot-path
+	// touch is behind a nil check so the disabled engine stays at zero
+	// allocations and near-zero overhead per cycle.
+	opCounts  []uint64 // per-opcode executed-instruction histogram
+	actCounts []uint64 // per-process activations: nodes then seq blocks
+	fixIters  []uint64 // per sched item: fixpoint iterations run
+	settles   uint64   // Settle calls while profiling
 }
 
 func (e *engine) setWatchdog(wd *resilience.Watchdog) { e.wd = wd }
+
+// enableActivations (re)arms per-process activation counting; counters
+// are zeroed so each run reads as its own delta.
+func (e *engine) enableActivations() {
+	n := len(e.p.nodes) + len(e.p.seq)
+	if len(e.actCounts) != n {
+		e.actCounts = make([]uint64, n)
+		return
+	}
+	for i := range e.actCounts {
+		e.actCounts[i] = 0
+	}
+}
+
+func (e *engine) activationCounts() []uint64 { return e.actCounts }
+
+// enableProfile (re)arms full execution profiling: opcode histogram,
+// fixpoint iteration counts, and activation counters.
+func (e *engine) enableProfile() {
+	if len(e.opCounts) != len(opNames) {
+		e.opCounts = make([]uint64, len(opNames))
+	} else {
+		for i := range e.opCounts {
+			e.opCounts[i] = 0
+		}
+	}
+	if len(e.fixIters) != len(e.p.sched) {
+		e.fixIters = make([]uint64, len(e.p.sched))
+	} else {
+		for i := range e.fixIters {
+			e.fixIters[i] = 0
+		}
+	}
+	e.settles = 0
+	e.enableActivations()
+}
+
+// profileSnapshot renders the counters; nil when profiling is off.
+func (e *engine) profileSnapshot() *wave.EngineProfile {
+	if e.opCounts == nil {
+		return nil
+	}
+	prof := &wave.EngineProfile{Settles: e.settles}
+	for op, n := range e.opCounts {
+		if n > 0 {
+			prof.Instructions += n
+			prof.Ops = append(prof.Ops, wave.OpCount{Op: opNames[op], Count: n})
+		}
+	}
+	for si := range e.p.sched {
+		if !e.p.sched[si].fixpoint || e.fixIters[si] == 0 {
+			continue
+		}
+		prof.FixpointGroups++
+		prof.FixpointIters += e.fixIters[si]
+		if e.fixIters[si] > prof.MaxGroupIters {
+			prof.MaxGroupIters = e.fixIters[si]
+		}
+	}
+	for i, pm := range e.p.procs {
+		var acts uint64
+		if i < len(e.actCounts) {
+			acts = e.actCounts[i]
+		}
+		prof.Processes = append(prof.Processes, wave.ProcessStat{
+			Kind: pm.kind, Line: pm.line, Activations: acts,
+		})
+	}
+	prof.Sort()
+	return prof
+}
 
 func newEngine(p *Program) *engine {
 	e := &engine{
@@ -130,6 +209,9 @@ func (e *engine) afterDrive(slot int32, oldBit bool) error {
 		return nil
 	}
 	for _, bi := range blocks {
+		if e.actCounts != nil {
+			e.actCounts[len(e.p.nodes)+int(bi)]++
+		}
 		if err := e.exec(e.p.seq[bi]); err != nil {
 			return err
 		}
@@ -140,6 +222,9 @@ func (e *engine) afterDrive(slot int32, oldBit bool) error {
 // Settle runs the compiled schedule: topologically-ordered processes once
 // each, strongly-connected groups to a bounded fixpoint.
 func (e *engine) Settle() error {
+	if e.opCounts != nil {
+		e.settles++
+	}
 	for si := range e.p.sched {
 		item := &e.p.sched[si]
 		if !item.fixpoint {
@@ -154,6 +239,9 @@ func (e *engine) Settle() error {
 		for iter := 0; iter < settleLimit; iter++ {
 			if err := e.wd.Check(); err != nil {
 				return err
+			}
+			if e.fixIters != nil {
+				e.fixIters[si]++
 			}
 			e.changed = false
 			for _, ni := range item.nodes {
@@ -174,6 +262,9 @@ func (e *engine) Settle() error {
 }
 
 func (e *engine) runNode(ni int32) error {
+	if e.actCounts != nil {
+		e.actCounts[ni]++
+	}
 	if err := e.exec(e.p.nodes[ni]); err != nil {
 		return err
 	}
@@ -235,6 +326,9 @@ func (e *engine) exec(code []instr) error {
 	regs := e.regs
 	for pc := 0; pc < len(code); pc++ {
 		in := &code[pc]
+		if e.opCounts != nil {
+			e.opCounts[in.op]++
+		}
 		switch in.op {
 		case opCopy:
 			regs[in.dst].CopyResize(regs[in.a])

@@ -30,6 +30,16 @@
 // regression table (engine_regress_test.go), the native
 // FuzzDifferential target, and the internal/fuzz campaign runner and
 // minimizer all funnel through it.
+//
+// The facade is also the observability hook point: Observe attaches a
+// wave.Observer that receives one full-signal snapshot after every
+// successful Settle (waveform capture, toggle coverage), and
+// EnableProfile/EnableActivations expose the compiled engine's opcode
+// histogram, fixpoint iteration counts, and per-process activation
+// counters. All of it is opt-in and nil-guarded: with nothing attached
+// the hot path pays a single nil check per settle, and the engine's
+// steady-state zero-allocation guarantee is unchanged (pinned by
+// AllocsPerRun tests).
 package sim
 
 import (
@@ -39,6 +49,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/resilience"
 	"repro/internal/sema"
+	"repro/internal/wave"
 )
 
 // settleLimit bounds combinational fixpoint iteration; exceeding it means a
@@ -83,6 +94,14 @@ type Simulator struct {
 	b        backend
 	compiled bool
 	wd       *resilience.Watchdog
+
+	// Observation state (observe.go). obs is nil unless an observer is
+	// attached; obsNames/obsVals are the preallocated snapshot carriers
+	// so sampling itself does not allocate.
+	obs      wave.Observer
+	obsNames []string
+	obsVals  []bitvec.Vec
+	obsTime  uint64
 }
 
 // watchdogSettable is implemented by backends that check the watchdog
@@ -170,7 +189,13 @@ func (s *Simulator) Settle() error {
 	if err := s.wd.Step(1); err != nil {
 		return err
 	}
-	return s.b.Settle()
+	if err := s.b.Settle(); err != nil {
+		return err
+	}
+	if s.obs != nil {
+		s.sample()
+	}
+	return nil
 }
 
 // ClockPulse produces a full 0→1→0 pulse on the named signal. Combinational

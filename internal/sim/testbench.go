@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/sema"
+	"repro/internal/wave"
 )
 
 // Vector is one testbench step: the input values to drive. For clocked
@@ -44,6 +45,12 @@ type TBResult struct {
 	// FirstMismatch describes the first failing sample, for debug logs
 	// and the (future-work) simulation-feedback experiments.
 	FirstMismatch string
+	// Waveform holds a VCD excerpt around the first mismatch when the
+	// run was observed with a recorder and failed; empty otherwise.
+	Waveform string
+	// Profile is the engine execution profile when the run was observed
+	// with TBObserve.Profile on a compiled simulator; nil otherwise.
+	Profile *wave.EngineProfile
 }
 
 // Passed reports whether the run completed with zero mismatches.
@@ -66,6 +73,58 @@ func RunTestbench(design *sema.Design, clock string, vectors []Vector, golden Go
 // the entry point for callers that amortize compilation through a cached
 // Program (sim.NewFromProgram). The simulator is reset before the run.
 func RunTestbenchSim(s *Simulator, clock string, vectors []Vector, golden Golden) (TBResult, error) {
+	return RunTestbenchObserved(s, clock, vectors, golden, TBObserve{})
+}
+
+// TBObserve bundles the optional observability for one testbench run.
+// The zero value observes nothing and adds no overhead.
+type TBObserve struct {
+	// Recorder, when non-nil, captures a waveform; it is marked at the
+	// first mismatch so a bounded recorder yields the window around it,
+	// and the excerpt is attached to TBResult.Waveform on failure.
+	Recorder *wave.Recorder
+	// Coverage, when non-nil, accumulates toggle/activity coverage over
+	// the run (activation counts are folded in when the run ends).
+	Coverage *wave.Coverage
+	// Profile requests an engine execution profile in TBResult.Profile
+	// (compiled backend only).
+	Profile bool
+}
+
+// RunTestbenchObserved is RunTestbenchSim with observability attached
+// for the duration of the run. Observers are detached before returning,
+// so a cached simulator goes back to its zero-overhead configuration.
+func RunTestbenchObserved(s *Simulator, clock string, vectors []Vector, golden Golden, o TBObserve) (TBResult, error) {
+	var parts []wave.Observer
+	if o.Recorder != nil {
+		parts = append(parts, o.Recorder)
+	}
+	if o.Coverage != nil {
+		parts = append(parts, o.Coverage)
+	}
+	if obs := wave.Multi(parts...); obs != nil {
+		s.Observe(obs)
+		defer s.Observe(nil)
+	}
+	if o.Profile {
+		s.EnableProfile()
+	} else if o.Coverage != nil {
+		s.EnableActivations()
+	}
+	res, err := runTestbench(s, clock, vectors, golden, o.Recorder)
+	if o.Coverage != nil {
+		o.Coverage.AddActivations(s.Activations())
+	}
+	if o.Profile {
+		res.Profile = s.Profile()
+	}
+	if o.Recorder != nil && res.Mismatches > 0 {
+		res.Waveform = o.Recorder.VCD()
+	}
+	return res, err
+}
+
+func runTestbench(s *Simulator, clock string, vectors []Vector, golden Golden, rec *wave.Recorder) (TBResult, error) {
 	design := s.Design()
 	s.Reset()
 	golden.Reset()
@@ -111,6 +170,9 @@ func RunTestbenchSim(s *Simulator, clock string, vectors []Vector, golden Golden
 				if res.FirstMismatch == "" {
 					res.FirstMismatch = fmt.Sprintf(
 						"cycle %d: output %s = %s, expected %s", cyc, name, gotV.Hex(), wantV.Resize(gotV.Width()).Hex())
+					if rec != nil {
+						rec.Mark()
+					}
 				}
 			}
 		}

@@ -32,9 +32,28 @@ type walkerSim struct {
 	// wd, when armed via Simulator.SetWatchdog, is checked inside the
 	// settle fixpoint so a runaway settle is canceled mid-iteration.
 	wd *resilience.Watchdog
+
+	// actCounts, nil unless enabled via the facade, counts per-process
+	// executions: assigns, then comb always, then seq always blocks.
+	actCounts []uint64
 }
 
 func (s *walkerSim) setWatchdog(wd *resilience.Watchdog) { s.wd = wd }
+
+// enableActivations (re)arms per-process activation counting; counters
+// are zeroed so each run reads as its own delta.
+func (s *walkerSim) enableActivations() {
+	n := len(s.assigns) + len(s.combAlways) + len(s.seqAlways)
+	if len(s.actCounts) != n {
+		s.actCounts = make([]uint64, n)
+		return
+	}
+	for i := range s.actCounts {
+		s.actCounts[i] = 0
+	}
+}
+
+func (s *walkerSim) activationCounts() []uint64 { return s.actCounts }
 
 // New builds a simulator over an elaborated design. It fails when the
 // design uses constructs the simulator does not support.
@@ -169,7 +188,7 @@ func (s *walkerSim) SetInputUint(name string, v uint64) error {
 // the given signal, with non-blocking semantics across blocks.
 func (s *walkerSim) fireEdge(name string, edge verilog.EventEdge) error {
 	var fired []*verilog.AlwaysBlock
-	for _, blk := range s.seqAlways {
+	for bi, blk := range s.seqAlways {
 		for _, ev := range blk.Events {
 			id, ok := ev.Signal.(*verilog.Ident)
 			if !ok || id.Name != name {
@@ -177,6 +196,9 @@ func (s *walkerSim) fireEdge(name string, edge verilog.EventEdge) error {
 			}
 			if ev.Edge == edge {
 				fired = append(fired, blk)
+				if s.actCounts != nil {
+					s.actCounts[len(s.assigns)+len(s.combAlways)+bi]++
+				}
 				break
 			}
 		}
@@ -213,7 +235,10 @@ func (s *walkerSim) Settle() error {
 			return err
 		}
 		changed := false
-		for _, a := range s.assigns {
+		for ai, a := range s.assigns {
+			if s.actCounts != nil {
+				s.actCounts[ai]++
+			}
 			env := newEnv(s)
 			v, err := env.evalCtx(a.RHS, env.lvalueWidth(a.LHS))
 			if err != nil {
@@ -223,7 +248,10 @@ func (s *walkerSim) Settle() error {
 				changed = true
 			}
 		}
-		for _, blk := range s.combAlways {
+		for bi, blk := range s.combAlways {
+			if s.actCounts != nil {
+				s.actCounts[len(s.assigns)+bi]++
+			}
 			env := newEnv(s)
 			before := snapshotTargets(s, blk)
 			if err := env.exec(blk.Body); err != nil {

@@ -7,6 +7,8 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -62,6 +64,39 @@ func (a *StageAgg) Snapshot() map[string]metrics.HistogramSnapshot {
 		out[name] = h.Snapshot()
 	}
 	return out
+}
+
+// OrderedStages is a stage-snapshot map that marshals to JSON in
+// pipeline order (StageNames) instead of Go's alphabetical map order,
+// so the /v1/stats "stages" object reads top-to-bottom like the
+// attribution table. Decoding uses the ordinary map rules.
+type OrderedStages map[string]metrics.HistogramSnapshot
+
+// MarshalJSON implements json.Marshaler with deterministic key order.
+func (o OrderedStages) MarshalJSON() ([]byte, error) {
+	if o == nil {
+		return []byte("null"), nil
+	}
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, name := range StageNames(o) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		k, err := json.Marshal(name)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(k)
+		b.WriteByte(':')
+		v, err := json.Marshal(o[name])
+		if err != nil {
+			return nil, err
+		}
+		b.Write(v)
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
 }
 
 // stageOrder is the span taxonomy in pipeline order; stages outside it

@@ -1,0 +1,249 @@
+package wave
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/bitvec"
+)
+
+// Recorder is an Observer that captures sampled values for VCD (Value
+// Change Dump, IEEE 1364 §18) rendering. Two modes share one type:
+//
+//   - window > 0: a bounded excerpt around a point of interest. The
+//     recorder keeps the last window samples in a ring; Mark freezes
+//     that history and records up to window further samples, then
+//     stops. This is the "window around first mismatch" testbench
+//     failures attach to diagnostics and model feedback.
+//   - window == 0: unbounded capture of the whole run (CLI -vcd).
+type Recorder struct {
+	module  string
+	signals []Signal
+
+	window int
+	// ring holds pre-mark history (capacity window when bounded);
+	// frozen holds the ordered samples once Mark fires.
+	ring   []sample
+	head   int
+	frozen []sample
+	marked bool
+	markT  uint64
+	post   int // post-mark samples still to take (bounded mode)
+	done   bool
+}
+
+type sample struct {
+	t    uint64
+	vals []bitvec.Vec
+}
+
+// NewRecorder builds a recorder. window bounds the excerpt: the last
+// window samples before Mark plus up to window after it. window <= 0
+// captures the entire run and Mark only annotates the point of
+// interest.
+func NewRecorder(window int) *Recorder {
+	if window < 0 {
+		window = 0
+	}
+	return &Recorder{window: window}
+}
+
+// Init implements Observer.
+func (r *Recorder) Init(module string, signals []Signal) {
+	r.module = module
+	r.signals = signals
+	r.ring = r.ring[:0]
+	r.frozen = nil
+	r.head = 0
+	r.marked = false
+	r.done = false
+}
+
+// Sample implements Observer: copy the snapshot (the vectors alias live
+// simulator storage) into the ring or the post-mark tail.
+func (r *Recorder) Sample(t uint64, vals []bitvec.Vec) {
+	if r.done {
+		return
+	}
+	s := sample{t: t, vals: make([]bitvec.Vec, len(vals))}
+	for i, v := range vals {
+		c := bitvec.New(v.Width())
+		c.CopyResize(v)
+		s.vals[i] = c
+	}
+	switch {
+	case r.marked && r.window > 0:
+		r.frozen = append(r.frozen, s)
+		if r.post--; r.post <= 0 {
+			r.done = true
+		}
+	case r.window > 0:
+		if len(r.ring) < r.window {
+			r.ring = append(r.ring, s)
+		} else {
+			r.ring[r.head] = s
+			r.head = (r.head + 1) % r.window
+		}
+	default:
+		r.ring = append(r.ring, s)
+	}
+}
+
+// Mark freezes the window at the current point (the first mismatch):
+// the retained history plus up to window further samples form the
+// excerpt. In unbounded mode it only records the annotation timestamp.
+func (r *Recorder) Mark() {
+	if r.marked {
+		return
+	}
+	r.marked = true
+	if n := len(r.ring); n > 0 {
+		r.markT = r.ring[(r.head+n-1)%n].t
+	}
+	if r.window > 0 {
+		ordered := make([]sample, 0, len(r.ring)+r.window)
+		for i := 0; i < len(r.ring); i++ {
+			ordered = append(ordered, r.ring[(r.head+i)%len(r.ring)])
+		}
+		r.frozen = ordered
+		r.post = r.window
+	}
+}
+
+// Marked reports whether Mark has fired.
+func (r *Recorder) Marked() bool { return r.marked }
+
+// Samples returns how many snapshots the excerpt currently holds.
+func (r *Recorder) Samples() int {
+	if r.frozen != nil {
+		return len(r.frozen)
+	}
+	return len(r.ring)
+}
+
+// ordered returns the retained samples oldest-first.
+func (r *Recorder) ordered() []sample {
+	if r.frozen != nil {
+		return r.frozen
+	}
+	if r.window > 0 && len(r.ring) == r.window {
+		out := make([]sample, 0, len(r.ring))
+		for i := 0; i < len(r.ring); i++ {
+			out = append(out, r.ring[(r.head+i)%len(r.ring)])
+		}
+		return out
+	}
+	return r.ring
+}
+
+// idCode maps a signal index to a VCD identifier: base-94 over the
+// printable ASCII range '!'..'~', shortest code first.
+func idCode(i int) string {
+	var b [8]byte
+	n := len(b)
+	for {
+		n--
+		b[n] = byte('!' + i%94)
+		i = i/94 - 1
+		if i < 0 {
+			break
+		}
+	}
+	return string(b[n:])
+}
+
+// binStr renders a vector as the VCD binary literal (MSB first, no
+// leading-zero trimming needed for correctness but standard dumps trim;
+// a single 0 stands for the all-zero value).
+func binStr(v bitvec.Vec) string {
+	w := v.Width()
+	var b strings.Builder
+	seen := false
+	for i := w - 1; i >= 0; i-- {
+		if v.Bit(i) {
+			seen = true
+		}
+		if seen {
+			if v.Bit(i) {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+	}
+	if !seen {
+		return "0"
+	}
+	return b.String()
+}
+
+// WriteVCD renders the retained samples as a VCD document: header,
+// variable definitions, a full $dumpvars at the first sample, then
+// per-timestep value changes only.
+func (r *Recorder) WriteVCD(w io.Writer) error {
+	samples := r.ordered()
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	if r.marked {
+		pf("$comment window around observation #%d (first mismatch) $end\n", r.markT)
+	}
+	pf("$timescale 1ns $end\n")
+	module := r.module
+	if module == "" {
+		module = "top"
+	}
+	pf("$scope module %s $end\n", module)
+	for i, sig := range r.signals {
+		if sig.Width == 1 {
+			pf("$var wire 1 %s %s $end\n", idCode(i), sig.Name)
+		} else {
+			pf("$var wire %d %s %s [%d:0] $end\n", sig.Width, idCode(i), sig.Name, sig.Width-1)
+		}
+	}
+	pf("$upscope $end\n")
+	pf("$enddefinitions $end\n")
+
+	var last []bitvec.Vec
+	for si, s := range samples {
+		pf("#%d\n", s.t)
+		if si == 0 {
+			pf("$dumpvars\n")
+		}
+		for i, v := range s.vals {
+			if si > 0 && v.Eq(last[i]) {
+				continue
+			}
+			if r.signals[i].Width == 1 {
+				if v.Bit(0) {
+					pf("1%s\n", idCode(i))
+				} else {
+					pf("0%s\n", idCode(i))
+				}
+			} else {
+				pf("b%s %s\n", binStr(v), idCode(i))
+			}
+		}
+		if si == 0 {
+			pf("$end\n")
+		}
+		last = s.vals
+	}
+	return err
+}
+
+// VCD returns the rendered document, or "" when nothing was retained.
+func (r *Recorder) VCD() string {
+	if r.Samples() == 0 {
+		return ""
+	}
+	var b strings.Builder
+	if err := r.WriteVCD(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}
